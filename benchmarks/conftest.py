@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment benchmarks (see DESIGN.md §4)."""
+
+import pytest
+
+FIG1 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+"""
+
+FIG2 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+  rm -fr "$STEAMROOT"/*
+else
+  echo "Bad script path: $0"; exit 1
+fi
+"""
+
+FIG3 = FIG2.replace('!= "/"', '= "/"')
+
+FIG5 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"""
+
+
+@pytest.fixture(scope="session")
+def figures():
+    return {"fig1": FIG1, "fig2": FIG2, "fig3": FIG3, "fig5": FIG5}
+
+
+def emit(title, rows):
+    """Print an experiment's result rows (shown with `pytest -s`)."""
+    print(f"\n### {title}")
+    for row in rows:
+        print("   " + row)

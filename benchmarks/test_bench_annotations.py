@@ -1,0 +1,60 @@
+"""E17 (extension, §4 "Ergonomic annotations"): the value of annotations.
+
+Shape: stripping `# @var` annotations from the corpus's annotated safe
+scripts turns their analyses into (sound but noisy) warnings — the
+annotation is exactly what converts "may be anything, including /" into
+a proof of safety. Conversely, annotations never mask a true bug in the
+buggy corpus.
+"""
+
+import re
+
+from conftest import emit
+
+from repro.analysis import analyze
+from repro.analysis.corpus import corpus
+
+
+def _strip_annotations(source: str) -> str:
+    return "\n".join(
+        line for line in source.splitlines() if not re.match(r"\s*#\s*@", line)
+    ) + "\n"
+
+
+def _flagged(report) -> bool:
+    return bool(
+        report.errors()
+        or [d for d in report.warnings() if d.source in ("semantic", "types")]
+    )
+
+
+def test_annotations_prove_safety():
+    annotated = [s for s in corpus() if "@var" in s.source and not s.buggy]
+    assert annotated, "corpus must contain annotated safe scripts"
+    rows = []
+    converted = 0
+    for script in annotated:
+        with_ann = analyze(script.source, n_args=script.n_args)
+        without = analyze(_strip_annotations(script.source), n_args=script.n_args)
+        gained = _flagged(without) and not _flagged(with_ann)
+        converted += gained
+        rows.append(
+            f"{script.name:24} annotated: {'clean' if not _flagged(with_ann) else 'flagged'}   "
+            f"stripped: {'flagged' if _flagged(without) else 'clean'}"
+        )
+    emit(f"E17 (annotation ablation over {len(annotated)} safe scripts)", rows)
+    # the annotations must be doing real work on most of these scripts
+    assert converted >= len(annotated) - 1
+
+
+def test_annotations_never_mask_bugs():
+    buggy = [s for s in corpus() if s.buggy]
+    for script in buggy:
+        report = analyze(script.source, n_args=script.n_args)
+        assert _flagged(report), script.name
+
+
+def test_annotation_analysis_cost(benchmark):
+    source = '# @var TARGET : /srv/[a-z]+/data\nrm -rf "$TARGET"\n'
+    report = benchmark(analyze, source)
+    assert not report.has("dangerous-deletion")

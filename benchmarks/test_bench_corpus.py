@@ -1,0 +1,92 @@
+"""E12: precision/recall of semantic analysis vs the syntactic baseline
+over the labelled corpus (§2's comparison, quantified).
+
+Shape: the semantic analyzer strictly dominates — higher precision AND
+higher recall; the baseline's false positives are exactly the Fig. 2
+class and its false negatives the Fig. 3/5 class.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze
+from repro.analysis.corpus import corpus
+from repro.lint import lint
+
+
+def _semantic_predicts_buggy(report):
+    return bool(
+        report.errors()
+        or [d for d in report.warnings() if d.source in ("semantic", "types")]
+    )
+
+
+def _baseline_predicts_buggy(source):
+    # the baseline's danger-relevant rule class (SC2115: rm on $var paths)
+    return any(d.code == "SC2115" for d in lint(source))
+
+
+def _score(predictions):
+    tp = sum(1 for pred, truth in predictions if pred and truth)
+    fp = sum(1 for pred, truth in predictions if pred and not truth)
+    fn = sum(1 for pred, truth in predictions if not pred and truth)
+    tn = sum(1 for pred, truth in predictions if not pred and not truth)
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return tp, fp, fn, tn, precision, recall
+
+
+def test_precision_recall_table():
+    semantic, baseline = [], []
+    for script in corpus():
+        report = analyze(script.source, n_args=script.n_args)
+        semantic.append((_semantic_predicts_buggy(report), script.buggy))
+        baseline.append((_baseline_predicts_buggy(script.source), script.buggy))
+
+    s_tp, s_fp, s_fn, s_tn, s_precision, s_recall = _score(semantic)
+    b_tp, b_fp, b_fn, b_tn, b_precision, b_recall = _score(baseline)
+
+    emit(
+        f"E12 (labelled corpus, {len(corpus())} scripts)",
+        [
+            f"{'tool':10} {'TP':>3} {'FP':>3} {'FN':>3} {'TN':>3} "
+            f"{'precision':>10} {'recall':>7}",
+            f"{'semantic':10} {s_tp:>3} {s_fp:>3} {s_fn:>3} {s_tn:>3} "
+            f"{s_precision:>10.2f} {s_recall:>7.2f}",
+            f"{'baseline':10} {b_tp:>3} {b_fp:>3} {b_fn:>3} {b_tn:>3} "
+            f"{b_precision:>10.2f} {b_recall:>7.2f}",
+        ],
+    )
+
+    # the paper's dominance shape
+    assert s_precision >= b_precision
+    assert s_recall > b_recall
+    assert s_recall >= 0.9
+    assert b_recall <= 0.5  # syntactic linting misses the semantic classes
+
+
+def test_baseline_fp_is_fig2_class():
+    """The baseline's false positives include the guarded-safe family."""
+    from repro.analysis.corpus import safe_scripts
+
+    fp_names = [
+        s.name for s in safe_scripts() if _baseline_predicts_buggy(s.source)
+    ]
+    assert "steam-guarded" in fp_names
+
+
+def test_corpus_analysis_cost(benchmark):
+    scripts = corpus()[:10]
+
+    def run():
+        return [analyze(s.source, n_args=s.n_args) for s in scripts]
+
+    benchmark(run)
+
+
+def test_corpus_baseline_cost(benchmark):
+    scripts = corpus()[:10]
+
+    def run():
+        return [lint(s.source) for s in scripts]
+
+    benchmark(run)

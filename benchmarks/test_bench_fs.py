@@ -1,0 +1,36 @@
+"""E6: file-system composition contradictions (§4's rm-then-cat)."""
+
+from conftest import emit
+
+from repro.analysis import analyze
+
+SNIPPETS = {
+    "rm-then-cat": ('rm -fr "$1"\ncat "$1/config"\n', True),
+    "rm-then-redirect": ("rm -f /etc/app.conf\nsort </etc/app.conf\n", True),
+    "double-mkdir": ("mkdir /srv/app\nmkdir /srv/app\n", True),
+    "mkdir-under-removed": ('rm -rf "$1"\nmkdir "$1/sub"\n', True),
+    "file-as-dir": ("touch /tmp/t\ncat /tmp/t/config\n", True),
+    "cat-then-rm": ('cat "$1/config"\nrm -f "$1/config"\n', False),
+    "recreate-between": (
+        'rm -fr "$1"\nmkdir -p "$1"\ntouch "$1/config"\ncat "$1/config"\n',
+        False,
+    ),
+    "mkdir-p-twice": ("mkdir -p /srv/app\nmkdir -p /srv/app\n", False),
+}
+
+
+def test_rm_then_cat(benchmark):
+    report = benchmark(analyze, SNIPPETS["rm-then-cat"][0], n_args=1)
+    fails = report.by_code("always-fails")
+    assert fails and fails[0].always
+
+
+def test_composition_suite():
+    rows = []
+    for name, (source, expect_fail) in SNIPPETS.items():
+        report = analyze(source, n_args=1)
+        flagged = report.has("always-fails")
+        assert flagged == expect_fail, (name, [d.render() for d in report.diagnostics])
+        rows.append(f"{name:22} always-fails={'yes' if flagged else 'no ':3} "
+                    f"(expected {'yes' if expect_fail else 'no'})")
+    emit("E6 (fs composition contradictions)", rows)

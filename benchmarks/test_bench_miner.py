@@ -1,0 +1,83 @@
+"""E7: specification mining accuracy and cost (Fig. 4).
+
+Shape: mined specs agree with the hand-written corpus on ≥90% of the
+probe matrix per command (100% for rm), and real-binary probing agrees
+with model probing wherever binaries exist.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.miner import (
+    ModelProber,
+    SubprocessProber,
+    compare_specs,
+    extract_syntax,
+    generate_invocations,
+    mine_command,
+    probe_all,
+)
+from repro.specs import default_registry
+
+COMMANDS = ["rm", "mkdir", "touch", "cat", "ln", "cp", "mv"]
+
+
+def test_mining_agreement_table():
+    rows = []
+    total_agree = total_all = 0
+    for name in COMMANDS:
+        spec = mine_command(name)
+        reference = default_registry().get(name)
+        combos = list(extract_syntax(name).flag_combinations(max_flags=2))
+        report = compare_specs(spec, reference, combos)
+        if report.total == 0:
+            rows.append(f"{name:8} (no comparable predictions)")
+            continue
+        total_agree += report.agree
+        total_all += report.total
+        rows.append(
+            f"{name:8} agreement {report.agree:3}/{report.total:<3} "
+            f"({report.rate:.0%})"
+        )
+    assert total_all > 0
+    overall = total_agree / total_all
+    rows.append(f"{'OVERALL':8} {total_agree}/{total_all} ({overall:.0%})")
+    assert overall >= 0.9
+    emit("E7 (mined vs hand-written specs)", rows)
+
+
+def test_real_binary_agreement():
+    prober = SubprocessProber()
+    rows = []
+    for name in ["rm", "mkdir", "touch"]:
+        if not prober.available(name):
+            pytest.skip(f"no {name} binary")
+        spec = mine_command(name, prober=prober)
+        reference = default_registry().get(name)
+        combos = list(extract_syntax(name).flag_combinations(max_flags=2))
+        report = compare_specs(spec, reference, combos)
+        rows.append(f"{name:8} real-binary agreement {report.rate:.0%}")
+        assert report.rate >= 0.9, report.disagreements
+    emit("E7b (real-binary probing)", rows)
+
+
+def test_mine_rm_cost_model(benchmark):
+    benchmark(mine_command, "rm")
+
+
+def test_probe_matrix_cost(benchmark):
+    syntax = extract_syntax("rm")
+    invocations = generate_invocations(syntax)
+
+    def probe():
+        return probe_all(invocations, prober=ModelProber())
+
+    traces = benchmark(probe)
+    assert len(traces) == len(invocations)
+
+
+def test_mine_rm_cost_real_binary(benchmark):
+    prober = SubprocessProber()
+    if not prober.available("rm"):
+        pytest.skip("no rm binary")
+    benchmark.pedantic(mine_command, args=("rm",), kwargs={"prober": prober}, rounds=3)

@@ -1,0 +1,93 @@
+"""E10: runtime monitoring overhead and early-halt (§4).
+
+Shape: monitoring costs a measurable constant factor over the bare
+pipeline (the gradual-typing trade-off) but halts a violation before the
+protected stage consumes it.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.monitor import MonitorViolation, StreamMonitor, run_pipeline
+from repro.rtypes import StreamType
+
+ID_TYPE = StreamType.of("[0-9]+", "numeric-id")
+
+
+def _extractor(lines):
+    for line in lines:
+        yield line.split(",", 1)[0]
+
+
+def _consumer(lines):
+    for line in lines:
+        yield f"seen {line}"
+
+
+def _records(count):
+    return [f"{i},payload" for i in range(count)]
+
+
+@pytest.mark.parametrize("count", [10_000, 100_000])
+def test_unmonitored_throughput(benchmark, count):
+    records = _records(count)
+    result = benchmark(run_pipeline, [_extractor, _consumer], records)
+    assert len(result) == count
+
+
+@pytest.mark.parametrize("count", [10_000, 100_000])
+def test_monitored_throughput(benchmark, count):
+    records = _records(count)
+
+    def run():
+        monitor = StreamMonitor(ID_TYPE)
+        return run_pipeline([_extractor, monitor.filter, _consumer], records)
+
+    result = benchmark(run)
+    assert len(result) == count
+
+
+def test_overhead_factor_report():
+    import time
+
+    records = _records(50_000)
+    t0 = time.perf_counter()
+    run_pipeline([_extractor, _consumer], records)
+    bare = time.perf_counter() - t0
+
+    monitor = StreamMonitor(ID_TYPE)
+    t0 = time.perf_counter()
+    run_pipeline([_extractor, monitor.filter, _consumer], records)
+    monitored = time.perf_counter() - t0
+
+    factor = monitored / bare if bare else float("inf")
+    emit(
+        "E10 (monitoring overhead, 50k lines)",
+        [
+            f"bare      : {bare*1e3:8.1f} ms",
+            f"monitored : {monitored*1e3:8.1f} ms  ({factor:.1f}x)",
+        ],
+    )
+    # constant-factor: monitoring must not be asymptotically worse
+    assert factor < 60
+
+
+def test_violation_halts_before_consumption():
+    records = _records(1000)
+    records[500] = "BAD,payload"
+    seen = []
+
+    def counting_consumer(lines):
+        for line in lines:
+            seen.append(line)
+            yield line
+
+    monitor = StreamMonitor(ID_TYPE)
+    with pytest.raises(MonitorViolation) as exc_info:
+        run_pipeline([_extractor, monitor.filter, counting_consumer], records)
+    assert exc_info.value.lineno == 501
+    assert len(seen) == 500  # the protected stage never saw the bad line
+    emit(
+        "E10b (early halt)",
+        [f"violation at line 501; protected stage consumed {len(seen)} lines"],
+    )

@@ -1,0 +1,43 @@
+"""E15: cross-platform incompatibility warnings (§5 "Correctness").
+
+Shape: GNU-only invocations are flagged for macOS targets (and vice
+versa); portable scripts are clean on both.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze
+
+SCRIPTS = [
+    ("sed-inplace", "sed -i s/a/b/ f.txt\n", {"macos"}),
+    ("readlink-f", "readlink -f /x\n", {"macos"}),
+    ("date-gnu", "date -d yesterday\n", {"macos"}),
+    ("date-bsd", "date -v -1d\n", {"linux"}),
+    ("sort-g", "seq 3 | sort -g\n", {"macos"}),
+    ("grep-P", "grep -P 'a(?=b)' f\n", {"macos"}),
+    ("ls-color", "ls --color f\n", {"macos"}),
+    ("ls-G-bsd", "ls -G\n", {"linux"}),
+    ("portable-pipeline", "grep x f | sort | head -n 3\n", set()),
+    ("portable-files", "mkdir -p /tmp/x\ncp a /tmp/x\nrm -f /tmp/x/a\n", set()),
+]
+
+
+def test_platform_matrix():
+    rows = []
+    for name, source, expected_broken_on in SCRIPTS:
+        broken_on = set()
+        for target in ("linux", "macos"):
+            report = analyze(source, platform_targets=[target])
+            if report.has("platform-flag"):
+                broken_on.add(target)
+        assert broken_on == expected_broken_on, (name, broken_on)
+        status = ",".join(sorted(broken_on)) or "portable"
+        rows.append(f"{name:20} breaks on: {status}")
+    emit("E15 (platform portability matrix)", rows)
+
+
+def test_platform_check_cost(benchmark):
+    report = benchmark(
+        analyze, "sed -i s/a/b/ f\nreadlink -f /x\n", 0, ["linux", "macos"]
+    )
+    assert report.has("platform-flag")

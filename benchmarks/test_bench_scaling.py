@@ -1,0 +1,95 @@
+"""E13: analysis latency vs script size, and the path-merging ablation.
+
+Shape (paper §4: "avoiding exponential explosion"): with state merging
+the explored path count and latency grow near-linearly in script size;
+with merging disabled (the ablation) branchy scripts grow much faster.
+"""
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def straightline_script(n_lines):
+    lines = []
+    for i in range(n_lines // 2):
+        lines.append(f"V{i}=value{i}")
+        lines.append(f'echo "$V{i}" >/tmp/out{i}.txt')
+    return "\n".join(lines) + "\n"
+
+
+def branchy_script(n_branches):
+    """Branches whose effects converge at the join (the common shape of
+    feature-probing scripts): without merging each contributes a 2x
+    state blow-up; with merging the join collapses them."""
+    lines = []
+    for i in range(n_branches):
+        lines.append(f"if [ -f /flag{i} ]; then echo probe{i}; fi")
+    lines.append("echo done")
+    return "\n".join(lines) + "\n"
+
+
+def _run(source, prune):
+    engine = Engine(checkers=default_checkers(), prune=prune)
+    result = engine.run_script(source)
+    return result
+
+
+@pytest.mark.parametrize("n_lines", [20, 80, 200])
+def test_straightline_scaling(benchmark, n_lines):
+    source = straightline_script(n_lines)
+    engine = Engine(checkers=default_checkers())
+    benchmark.pedantic(engine.run_script, args=(source,), rounds=3)
+
+
+def test_latency_growth_table():
+    rows = []
+    times = []
+    for n_lines in [10, 40, 160, 400]:
+        source = straightline_script(n_lines)
+        start = time.perf_counter()
+        result = _run(source, prune=True)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        rows.append(
+            f"{n_lines:4} lines: {elapsed*1e3:8.1f} ms, "
+            f"{result.paths_explored} path steps"
+        )
+    emit("E13 (latency vs script size, straight-line)", rows)
+    # near-linear: 40x the lines costs well under 40^2/10 the time
+    assert times[-1] < times[0] * 400
+
+
+def test_pruning_ablation():
+    rows = []
+    for n_branches in [4, 6, 8, 10]:
+        source = branchy_script(n_branches)
+        merged = _run(source, prune=True)
+        unmerged = _run(source, prune=False)
+        rows.append(
+            f"{n_branches:2} branches: merged={len(merged.states):4} states "
+            f"unmerged={len(unmerged.states):4} states "
+            f"(merges performed: {merged.paths_merged})"
+        )
+        assert len(merged.states) <= len(unmerged.states)
+    # the ablation shows the blow-up merging prevents
+    final_merged = _run(branchy_script(10), prune=True)
+    final_unmerged = _run(branchy_script(10), prune=False)
+    assert len(final_unmerged.states) >= 4 * len(final_merged.states)
+    emit("E13b (path-merging ablation)", rows)
+
+
+def test_branchy_with_pruning_cost(benchmark):
+    source = branchy_script(8)
+    engine = Engine(checkers=default_checkers(), prune=True)
+    benchmark.pedantic(engine.run_script, args=(source,), rounds=3)
+
+
+def test_branchy_without_pruning_cost(benchmark):
+    source = branchy_script(8)
+    engine = Engine(checkers=default_checkers(), prune=False)
+    benchmark.pedantic(engine.run_script, args=(source,), rounds=3)

@@ -1,0 +1,90 @@
+"""E1/E2/E3/E5: the Steam-bug figure suite, semantic vs baseline.
+
+Shape to reproduce (paper §2-§3): both tools flag Fig. 1; only the
+semantic analyzer clears Fig. 2 and flags Fig. 3 and the semantic
+variants; the baseline emits identical findings on Figs. 2 and 3.
+"""
+
+from conftest import emit
+
+from repro.analysis import analyze
+from repro.lint import lint_codes
+
+VARIANTS = [
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nc="/*"; rm -fr $STEAMROOT$c\n',
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr $STEAMROOT/*\n',
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\na=$STEAMROOT\nrm -fr "$a"/*\n',
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nt="$STEAMROOT/"\nrm -fr $t*\n',
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -rf "$STEAMROOT"/*\n',
+]
+
+
+def _semantic_unsafe(report):
+    return bool(
+        report.errors()
+        or [d for d in report.warnings() if d.source in ("semantic", "types")]
+    )
+
+
+def test_fig1_detection(figures, benchmark):
+    """E1: the original bug is flagged (by both tools)."""
+    report = benchmark(analyze, figures["fig1"])
+    assert report.has("dangerous-deletion")
+    assert any(d.always for d in report.by_code("dangerous-deletion"))
+    assert "SC2115" in lint_codes(figures["fig1"])
+    emit(
+        "E1 (Fig. 1)",
+        [
+            "semantic : dangerous-deletion (always, witness '/')",
+            f"baseline : {','.join(lint_codes(figures['fig1']))}",
+        ],
+    )
+
+
+def test_fig2_proven_safe(figures, benchmark):
+    """E2: the guarded fix is safe for the analyzer; the baseline still
+    warns — a false positive."""
+    report = benchmark(analyze, figures["fig2"])
+    assert not report.has("dangerous-deletion")
+    assert not _semantic_unsafe(report)
+    assert "SC2115" in lint_codes(figures["fig2"])  # the baseline's FP
+    emit(
+        "E2 (Fig. 2)",
+        [
+            "semantic : SAFE on every path (guard refines STEAMROOT)",
+            f"baseline : {','.join(lint_codes(figures['fig2']))} (false positive)",
+        ],
+    )
+
+
+def test_fig3_detection(figures, benchmark):
+    """E3: the one-character-away unsafe fix is flagged; the baseline
+    reports exactly what it reported for the safe Fig. 2."""
+    report = benchmark(analyze, figures["fig3"])
+    assert report.has("dangerous-deletion")
+    assert lint_codes(figures["fig2"]) == lint_codes(figures["fig3"])
+    emit(
+        "E3 (Fig. 3)",
+        [
+            "semantic : dangerous-deletion (the then-branch deletes from /)",
+            "baseline : identical codes to Fig. 2 — cannot distinguish",
+        ],
+    )
+
+
+def test_variants(benchmark):
+    """E5: robustness to semantically-equivalent rewrites."""
+    def run_all():
+        return [analyze(source) for source in VARIANTS]
+
+    reports = benchmark(run_all)
+    rows = []
+    for source, report in zip(VARIANTS, reports):
+        assert report.has("dangerous-deletion"), source
+        baseline = "SC2115" in lint_codes(source)
+        rows.append(
+            f"semantic flags / baseline {'flags' if baseline else 'MISSES'} : "
+            + source.splitlines()[-1]
+        )
+    assert sum("MISSES" in r for r in rows) >= 2, "variants must defeat the baseline"
+    emit("E5 (semantic variants)", rows)

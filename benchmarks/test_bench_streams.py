@@ -1,0 +1,48 @@
+"""E4: stream-content reasoning on Fig. 5 (the dead grep filter)."""
+
+from conftest import emit
+
+from repro.analysis import analyze
+from repro.lint import lint_codes
+from repro.rlang import Regex
+from repro.rtypes import check_pipeline
+
+
+def test_fig5(figures, benchmark):
+    report = benchmark(analyze, figures["fig5"])
+    assert report.has("dead-stream")
+    assert len(report.by_code("dead-case-branch")) == 2
+    assert report.has("undefined-variable")
+    assert report.has("dangerous-deletion")
+    assert "SC2115" not in lint_codes(figures["fig5"])  # baseline is silent
+    emit(
+        "E4 (Fig. 5)",
+        [
+            "semantic : dead-stream at grep '^desc' (always)",
+            "semantic : 2 dead case arms; SUFFIX never set; deletion bug survives",
+            "baseline : silent about the filter bug",
+        ],
+    )
+
+
+def test_fig5_core_intersection(benchmark):
+    """The underlying language fact: lsb_release-type ∩ desc.* = ∅."""
+    lsb = Regex.compile(r"(Distributor ID|Description|Release|Codename):\t.*")
+    grep_out = Regex.compile("desc.*")
+
+    def intersect_and_check():
+        return (lsb & grep_out).is_empty()
+
+    assert benchmark(intersect_and_check)
+
+
+def test_fig5_pipeline_typing(benchmark):
+    result = benchmark(
+        check_pipeline,
+        [["lsb_release", "-a"], ["grep", "^desc"], ["cut", "-f", "2"]],
+    )
+    assert result.output_dead
+    fixed = check_pipeline(
+        [["lsb_release", "-a"], ["grep", "^Desc"], ["cut", "-f", "2"]]
+    )
+    assert not fixed.output_dead

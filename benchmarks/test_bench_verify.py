@@ -1,0 +1,50 @@
+"""E11: curl-to-sh policy verification (§5 "Security").
+
+Shape: clean installers ALLOW, greedy installers REJECT, and
+argument-driven installers NEEDS_GUARD with generated runtime guards —
+verified ahead of time, before a single line of the installer runs.
+"""
+
+from conftest import emit
+
+from repro.monitor import Verdict, parse_policy, verify_script
+
+INSTALLERS = [
+    ("clean-opt", "mkdir -p /opt/sw\ntouch /opt/sw/done\n", 0, Verdict.ALLOW),
+    ("clean-usrlocal", "mkdir -p /usr/local/sw\ntouch /usr/local/sw/bin\n", 0, Verdict.ALLOW),
+    ("clean-tmp", "mkdir -p /tmp/build\nrm -rf /tmp/build\n", 0, Verdict.ALLOW),
+    ("greedy-delete", "rm -rf /home/user/mine/old\n", 0, Verdict.REJECT),
+    ("greedy-write", "touch /home/user/mine/marker\n", 0, Verdict.REJECT),
+    ("greedy-read", "cat /home/user/mine/secrets\n", 0, Verdict.REJECT),
+    ("greedy-ancestor", "rm -rf /home/user\n", 0, Verdict.REJECT),
+    ("arg-driven", 'rm -rf "$1"/previous\nmkdir -p "$1"\n', 1, Verdict.NEEDS_GUARD),
+    ("env-driven", 'rm -rf "$PREFIX"/cache\n', 0, Verdict.NEEDS_GUARD),
+    ("sibling-ok", "touch /home/user/other/x\n", 0, Verdict.ALLOW),
+    ("conditional-greedy", 'if [ -d /home/user/mine ]; then rm -rf /home/user/mine/t; fi\n', 0, Verdict.REJECT),
+    ("deep-clean", "rm -rf /var/cache/sw\n", 0, Verdict.ALLOW),
+]
+
+POLICY = parse_policy(["--no-RW", "~/mine"])
+
+
+def test_verdict_table():
+    rows = []
+    for name, script, n_args, expected in INSTALLERS:
+        result = verify_script(script, POLICY, n_args=n_args)
+        assert result.verdict is expected, (name, result.render())
+        guard_note = f" (+{len(result.guards)} guards)" if result.guards else ""
+        rows.append(f"{name:20} {result.verdict.name}{guard_note}")
+    emit("E11 (verify --no-RW ~/mine over 12 installers)", rows)
+
+
+def test_guards_generated_for_symbolic():
+    result = verify_script('rm -rf "$1"/previous\n', POLICY, n_args=1)
+    assert result.verdict is Verdict.NEEDS_GUARD
+    assert result.guards
+    assert "abort" in str(result.guards[0])
+
+
+def test_verify_cost(benchmark):
+    script = 'rm -rf "$1"/previous\nmkdir -p "$1"\ntouch "$1/done"\n'
+    result = benchmark(verify_script, script, POLICY, 1)
+    assert result.verdict is Verdict.NEEDS_GUARD

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Platform-compatibility auditing (paper §5 "Correctness").
+
+A script developed on Linux may break when a CI matrix adds macOS
+runners: GNU-only flags like `sed -i` (no suffix), `readlink -f`, or
+`date -d` silently fail there.  Given the deployment targets, the
+analyzer warns before distribution.
+
+Run:  python examples/ci_script_portability.py
+"""
+
+from repro.analysis import analyze
+
+CI_SCRIPT = """#!/bin/sh
+# release packaging helper
+# @platforms linux macos
+VERSION=$(date -d yesterday +%Y%m%d)
+ROOT=$(readlink -f .)
+sed -i "s/__VERSION__/$VERSION/" build/info.txt
+tar_name="release-$VERSION.tar"
+echo "packaged $tar_name at $ROOT"
+"""
+
+PORTABLE_SCRIPT = """#!/bin/sh
+# @platforms linux macos
+VERSION=$(date +%Y%m%d)
+sed "s/__VERSION__/$VERSION/" build/info.txt > build/info.txt.new
+mv build/info.txt.new build/info.txt
+echo "packaged release-$VERSION.tar"
+"""
+
+
+def main() -> None:
+    print("auditing a Linux-developed CI script for a linux+macos matrix:\n")
+    report = analyze(CI_SCRIPT)
+    for diagnostic in report.by_code("platform-flag"):
+        print("   " + diagnostic.render())
+
+    print("\nthe portable rewrite:\n")
+    portable = analyze(PORTABLE_SCRIPT)
+    flags = portable.by_code("platform-flag")
+    print("   no portability warnings" if not flags else "\n".join(map(str, flags)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The curl-to-sh scenario (paper §5 "Security").
+
+A security-conscious user pipes an installer through `verify` before
+`sh`::
+
+    curl sw.com/up.sh | verify --no-RW ~/mine | sh
+
+This example verifies three installers against that policy and shows
+the three verdicts: ALLOW, REJECT, and NEEDS_GUARD (with generated
+runtime guards).
+
+Run:  python examples/curl_pipe_verify.py
+"""
+
+from repro.monitor import parse_policy, verify_script
+
+INSTALLERS = {
+    "well-behaved installer": """#!/bin/sh
+mkdir -p /opt/sw
+touch /opt/sw/installed
+echo "installed to /opt/sw"
+""",
+    "greedy installer (touches ~/mine)": """#!/bin/sh
+mkdir -p /opt/sw
+rm -rf /home/user/mine/competitor-config
+touch /opt/sw/installed
+""",
+    "argument-driven installer (unknowable statically)": """#!/bin/sh
+rm -rf "$1"/previous-version
+mkdir -p "$1"
+""",
+}
+
+
+def main() -> None:
+    policy = parse_policy(["--no-RW", "~/mine"])
+    print(f"policy: {', '.join(str(rule) for rule in policy)}\n")
+
+    for name, script in INSTALLERS.items():
+        n_args = 1 if "$1" in script else 0
+        result = verify_script(script, policy, n_args=n_args)
+        print(f"== {name}")
+        print("   " + result.render().replace("\n", "\n   "))
+        print()
+
+    print(
+        "ALLOW scripts may be piped straight to sh; REJECT scripts should\n"
+        "never run; NEEDS_GUARD scripts run with the generated runtime\n"
+        "guards interposed, which abort before a protected path is touched."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Interactive-style behaviour exploration (paper §5, "Comprehension").
+
+Renders the full symbolic execution tree of the Steam updater bug: every
+explored world with its path conditions, variable values, and findings —
+the "what can this script do to my machine" view for developers who are
+experts in domains outside computer science.
+
+Run:  python examples/explore_behaviours.py
+"""
+
+from repro.analysis.viz import behaviour_summary, render_tree
+
+SCRIPT = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -fr "$STEAMROOT"/*
+"""
+
+
+def main() -> None:
+    print("=== one-screen digest ===\n")
+    print(behaviour_summary(SCRIPT))
+
+    print("\n=== all execution worlds ===\n")
+    print(render_tree(SCRIPT))
+
+    print(
+        "\nReading guide: world #1 is the famous bug — the `cd` failed, so\n"
+        "the command substitution produced nothing, STEAMROOT is the empty\n"
+        "string, and the final command is `rm -fr /*`."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Runtime monitoring for untyped commands (paper §4).
+
+When a pipeline stage has no static type, a monitor wraps it and checks
+its output lines against the type the *next* stage expects — halting
+execution before a violating line reaches the protected stage (the
+gradual-typing trade-off: overhead and delayed detection in exchange
+for safety without annotations).
+
+Run:  python examples/monitored_pipeline.py
+"""
+
+from repro.monitor import MonitorViolation, StreamMonitor, run_pipeline
+from repro.rtypes import StreamType, check_pipeline
+
+
+def untyped_extractor(lines):
+    """Stands in for an opaque third-party tool: extracts ids, but has a
+    bug that occasionally emits a malformed record."""
+    for lineno, line in enumerate(lines, start=1):
+        if lineno == 4:
+            yield f"OOPS<{line}>"  # the bug
+        else:
+            yield line.split(",", 1)[0]
+
+
+def consumer(lines):
+    """The protected downstream stage: requires numeric ids."""
+    for line in lines:
+        yield f"processed {int(line):06d}"
+
+
+def main() -> None:
+    # static analysis reports the gap first:
+    result = check_pipeline([["cat", "records.csv"], ["extract-ids"], ["sort", "-n"]])
+    for issue in result.untyped_stages():
+        print(f"static: {issue.message}")
+
+    records = [f"{1000 + i},payload-{i}" for i in range(8)]
+    id_type = StreamType.of("[0-9]+", "numeric-id")
+
+    print("\nwithout monitoring, the bad line reaches the consumer:")
+    try:
+        run_pipeline([untyped_extractor, consumer], records)
+    except ValueError as exc:
+        print(f"   runtime crash deep inside the consumer: {exc}")
+
+    print("\nwith a monitor wrapped around the untyped stage:")
+    monitor = StreamMonitor(id_type, where="extract-ids output")
+    try:
+        run_pipeline([untyped_extractor, monitor.filter, consumer], records)
+    except MonitorViolation as violation:
+        print(f"   halted at the boundary: {violation}")
+        print(f"   lines checked before the halt: {monitor.stats.lines_checked}")
+
+    print(
+        "\nthe consumer never saw the malformed line; the failure is "
+        "reported\nat the stage boundary, in terms of the violated type."
+    )
+
+
+if __name__ == "__main__":
+    main()

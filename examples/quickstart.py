@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze a shell script ahead of time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze
+
+# The core of the Steam-for-Linux updater bug (paper Fig. 1): when the
+# command substitution fails, STEAMROOT is empty and the last line
+# becomes `rm -fr /*`.
+SCRIPT = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+"""
+
+
+def main() -> None:
+    print("analyzing the Steam updater core...\n")
+    report = analyze(SCRIPT)
+    print(report.render())
+
+    print("\nverdict:", "UNSAFE" if report.unsafe else "safe")
+    assert report.has("dangerous-deletion")
+
+    # The same API proves the guarded fix (paper Fig. 2) safe:
+    fixed = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+  rm -fr "$STEAMROOT"/*
+else
+  echo "Bad script path: $0"; exit 1
+fi
+"""
+    print("\nanalyzing the guarded fix...\n")
+    fixed_report = analyze(fixed)
+    print(fixed_report.render())
+    assert not fixed_report.has("dangerous-deletion")
+    print("\nthe guard is proven effective on every execution path.")
+
+
+if __name__ == "__main__":
+    main()

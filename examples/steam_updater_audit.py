@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Audit every variant of the Steam updater story (paper §2-§3).
+
+Walks the four figures of the paper plus the semantic-variant rewrites,
+comparing the semantic analyzer's verdicts with the syntactic baseline
+(a ShellCheck-class linter) on each.
+
+Run:  python examples/steam_updater_audit.py
+"""
+
+from repro.analysis import analyze
+from repro.lint import lint_codes
+
+FIGURES = {
+    "Fig. 1 (the bug)": (
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr "$STEAMROOT"/*\n',
+        "buggy",
+    ),
+    "Fig. 2 (safe fix)": (
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\n'
+        'if [ "$(realpath "$STEAMROOT/")" != "/" ]; then\n'
+        '  rm -fr "$STEAMROOT"/*\nelse\n  echo "Bad script path: $0"; exit 1\nfi\n',
+        "safe",
+    ),
+    "Fig. 3 (unsafe fix, one char away)": (
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\n'
+        'if [ "$(realpath "$STEAMROOT/")" = "/" ]; then\n'
+        '  rm -fr "$STEAMROOT"/*\nelse\n  echo "Bad script path: $0"; exit 1\nfi\n',
+        "buggy",
+    ),
+    "Fig. 5 (subtle stream bug)": (
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/\n'
+        "case $(lsb_release -a | grep '^desc' | cut -f 2) in\n"
+        '  Debian) SUFFIX=".config/steam" ;;\n'
+        '  *Linux) SUFFIX=".steam" ;;\n'
+        "esac\n"
+        "rm -fr $STEAMROOT$SUFFIX\n",
+        "buggy",
+    ),
+    "§3 variant (split across variables)": (
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nc="/*"\nrm -fr $STEAMROOT$c\n',
+        "buggy",
+    ),
+}
+
+
+def main() -> None:
+    print(f"{'script':40} {'truth':6} {'semantic':10} {'baseline (codes)'}")
+    print("-" * 92)
+    for name, (source, truth) in FIGURES.items():
+        report = analyze(source)
+        semantic = "UNSAFE" if (
+            report.errors()
+            or any(d.source in ("semantic", "types") for d in report.warnings())
+        ) else "safe"
+        baseline = ",".join(lint_codes(source)) or "silent"
+        print(f"{name:40} {truth:6} {semantic:10} {baseline}")
+
+    print(
+        "\nNote how the baseline cannot tell Fig. 2 from Fig. 3 (identical"
+        "\ncodes on both) and says nothing useful about Fig. 5's grep typo,"
+        "\nwhile the semantic analysis separates all of them correctly."
+    )
+
+    print("\ndetailed findings for Fig. 5:")
+    report = analyze(FIGURES["Fig. 5 (subtle stream bug)"][0])
+    for diagnostic in report.diagnostics:
+        print("   ", diagnostic.render())
+
+
+if __name__ == "__main__":
+    main()

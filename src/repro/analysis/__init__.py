@@ -1,0 +1,14 @@
+"""The end-to-end analyzer (public API)."""
+
+from .analyzer import analyze
+from .annotations import (
+    AnnotationError,
+    AnnotationSet,
+    load_annotation_file,
+    merge_annotations,
+    parse_annotations,
+)
+from .report import Report
+
+__all__ = ["analyze", "Report", "parse_annotations", "AnnotationSet", "AnnotationError",
+           "load_annotation_file", "merge_annotations"]

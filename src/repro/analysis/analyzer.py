@@ -1,0 +1,90 @@
+"""The end-to-end analyzer: parse → annotations → symbolic execution →
+checkers → report.  The public entry point of the library."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..checkers import Checker, default_checkers
+from ..diag import Diagnostic, dedupe
+from ..lint import lint as run_lint
+from ..shell.lexer import ShellSyntaxError
+from ..specs import SpecRegistry
+from ..symex import Engine
+from .annotations import AnnotationSet, load_annotation_file, merge_annotations, parse_annotations
+from .report import Report
+
+
+def analyze(
+    source: str,
+    n_args: int = 0,
+    platform_targets: Optional[Sequence[str]] = None,
+    registry: Optional[SpecRegistry] = None,
+    checkers: Optional[List[Checker]] = None,
+    include_lint: bool = False,
+    use_annotations: bool = True,
+    annotation_files: Optional[Sequence[str]] = None,
+    max_fork: int = 64,
+    max_loop: int = 2,
+    prune: bool = True,
+) -> Report:
+    """Statically analyze a shell script.
+
+    - ``n_args``: how many positional arguments to model symbolically
+      (overridden by a ``# @args N`` annotation).
+    - ``platform_targets``: deployment platforms for portability checks
+      (overridden by ``# @platforms ...``).
+    - ``include_lint``: additionally run the syntactic baseline and merge
+      its findings (tagged ``source="lint"``).
+    """
+    annotations = parse_annotations(source) if use_annotations else AnnotationSet()
+    if annotation_files:
+        external = [load_annotation_file(path) for path in annotation_files]
+        annotations = merge_annotations(*external, annotations)
+    if annotations.n_args is not None:
+        n_args = annotations.n_args
+    if annotations.platforms:
+        platform_targets = annotations.platforms
+
+    if checkers is None:
+        checkers = default_checkers(platform_targets=platform_targets)
+
+    engine = Engine(
+        registry=registry,
+        checkers=checkers,
+        max_fork=max_fork,
+        max_loop=max_loop,
+        prune=prune,
+        signature_overrides=annotations.signatures,
+        initial_env=annotations.variables,
+    )
+
+    try:
+        result = engine.run_script(source, n_args=n_args)
+    except ShellSyntaxError as exc:
+        from ..diag import Severity
+
+        return Report(
+            source=source,
+            diagnostics=[
+                Diagnostic(
+                    code="syntax-error",
+                    message=str(exc),
+                    severity=Severity.ERROR,
+                    pos=exc.pos,
+                    always=True,
+                )
+            ],
+        )
+
+    diagnostics = list(result.diagnostics)
+    if include_lint:
+        diagnostics.extend(run_lint(source))
+
+    return Report(
+        source=source,
+        diagnostics=dedupe(diagnostics),
+        paths_explored=result.paths_explored,
+        paths_merged=result.paths_merged,
+        states=len(result.states),
+    )

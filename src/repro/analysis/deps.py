@@ -1,0 +1,241 @@
+"""Read/write dependency analysis between commands (paper §5,
+"Performance").
+
+"Shell state and file system reasoning can identify read-write
+dependencies between commands in a script, which would allow speculative
+execution systems like hS to reorder commands without needing to guard
+against misspeculation, and incremental execution systems like Riker to
+reduce the runtime tracing overhead."
+
+The analyzer evaluates a script's top-level commands in order on the
+symbolic engine, attributing every file-system event to the command that
+caused it (across *all* explored paths), then derives the classic
+dependence relations on abstract fs nodes:
+
+- RAW (flow): i writes a node j later reads  → j must follow i
+- WAR (anti): i reads a node j later writes  → j must follow i
+- WAW (output): both write the same node     → order preserved
+
+Environment-variable def/use pairs contribute dependencies the same way.
+Commands unrelated by any edge can be reordered or parallelised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..checkers import default_checkers
+from ..fs import FsOp
+from ..shell import parse
+from ..shell.ast import Command, Sequence as SeqNode, SimpleCommand, walk
+from ..symex import Engine
+
+#: fs operations that constitute a write (mutation) vs a read
+_WRITES = {FsOp.WRITE, FsOp.CREATE, FsOp.DELETE}
+_READS = {FsOp.READ, FsOp.LIST, FsOp.STAT}
+
+
+@dataclass
+class CommandEffects:
+    """Aggregated effects of one top-level command over all paths."""
+
+    index: int
+    source: str
+    reads: Set[int] = field(default_factory=set)      # fs node ids
+    writes: Set[int] = field(default_factory=set)
+    var_uses: Set[str] = field(default_factory=set)
+    var_defs: Set[str] = field(default_factory=set)
+    external: bool = False  # unknown command: conservatively depends on all
+
+
+@dataclass(frozen=True)
+class Dependency:
+    src: int
+    dst: int
+    kind: str   # "flow" | "anti" | "output" | "var" | "external"
+    via: str    # human-readable cause
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst} [{self.kind} via {self.via}]"
+
+
+class DependencyGraph:
+    def __init__(self, effects: List[CommandEffects], deps: List[Dependency]):
+        self.effects = effects
+        self.dependencies = deps
+        self.graph = nx.DiGraph()
+        for effect in effects:
+            self.graph.add_node(effect.index, source=effect.source)
+        for dep in deps:
+            self.graph.add_edge(dep.src, dep.dst)
+
+    def independent_pairs(self) -> List[Tuple[int, int]]:
+        """Command pairs with no ordering requirement (reorderable)."""
+        pairs = []
+        n = len(self.effects)
+        closure = nx.transitive_closure(self.graph)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if not closure.has_edge(i, j) and not closure.has_edge(j, i):
+                    pairs.append((i, j))
+        return pairs
+
+    def stages(self) -> List[List[int]]:
+        """Parallel schedule: topological generations."""
+        return [sorted(gen) for gen in nx.topological_generations(self.graph)]
+
+    def must_precede(self, i: int, j: int) -> bool:
+        closure = nx.transitive_closure(self.graph)
+        return closure.has_edge(i, j)
+
+    def render(self) -> str:
+        lines = []
+        for effect in self.effects:
+            lines.append(f"[{effect.index}] {effect.source}")
+        for dep in self.dependencies:
+            lines.append(f"    {dep}")
+        stages = self.stages()
+        lines.append(
+            "schedule: " + " | ".join("{" + ",".join(map(str, s)) + "}" for s in stages)
+        )
+        return "\n".join(lines)
+
+
+def _top_level_commands(source: str) -> List[Command]:
+    ast = parse(source)
+    if isinstance(ast, SeqNode):
+        return list(ast.commands)
+    return [ast]
+
+
+def _vars_of(node: Command) -> Tuple[Set[str], Set[str]]:
+    """(uses, defs) of shell variables, syntactically."""
+    from ..shell.ast import Assignment, ParamPart, Word
+
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+
+    def scan_word(word: Word):
+        for part in word.parts:
+            if isinstance(part, ParamPart):
+                uses.add(part.name)
+                if part.arg is not None:
+                    scan_word(part.arg)
+                if part.op in ("=", ":="):
+                    defs.add(part.name)
+
+    for sub in walk(node):
+        if isinstance(sub, SimpleCommand):
+            for assignment in sub.assignments:
+                defs.add(assignment.name)
+                scan_word(assignment.value)
+            for word in sub.words:
+                scan_word(word)
+            for redirect in sub.redirects:
+                scan_word(redirect.target)
+    return uses, defs
+
+
+def analyze_dependencies(source: str, n_args: int = 0) -> DependencyGraph:
+    """Build the dependency graph of a script's top-level commands."""
+    commands = _top_level_commands(source)
+    engine = Engine(checkers=default_checkers())
+    engine.script_assigned = set()
+    from ..symex.engine import _assigned_names
+
+    ast = parse(source)
+    engine.script_assigned = _assigned_names(ast)
+    states = [engine.initial_state(n_args=n_args)]
+
+    effects: List[CommandEffects] = []
+    for index, command in enumerate(commands):
+        raw = _render_command(command, source)
+        uses, defs = _vars_of(command)
+        effect = CommandEffects(
+            index=index, source=raw, var_uses=uses, var_defs=defs
+        )
+        marks = [(state, len(state.fs.log)) for state in states]
+        next_states = []
+        for state, mark in marks:
+            for result in engine.eval(command, state):
+                for event in result.fs.log.events[mark:]:
+                    if event.node is None:
+                        continue
+                    if event.op in _WRITES:
+                        effect.writes.add(event.node)
+                        # writing a node requires its ancestors to exist:
+                        # record them as reads so `mkdir /d` -> `cmd >/d/f`
+                        # yields a flow dependency
+                        parent = result.fs.nodes[event.node].parent
+                        while parent is not None:
+                            effect.reads.add(parent)
+                            parent = result.fs.nodes[parent].parent
+                    elif event.op in _READS:
+                        effect.reads.add(event.node)
+                next_states.append(result)
+        has_unknown = any(
+            isinstance(sub, SimpleCommand)
+            and sub.name is not None
+            and engine.registry.get(sub.name) is None
+            and not _is_builtin_name(sub.name)
+            and sub.name not in _assigned_functions(ast)
+            for sub in walk(command)
+        )
+        effect.external = has_unknown
+        effects.append(effect)
+        states = next_states[: engine.max_fork]
+
+    deps = _derive_dependencies(effects)
+    return DependencyGraph(effects, deps)
+
+
+def _is_builtin_name(name: str) -> bool:
+    from ..symex import builtins as builtins_mod
+
+    return builtins_mod.is_builtin(name)
+
+
+def _assigned_functions(ast: Command) -> Set[str]:
+    from ..shell.ast import FunctionDef
+
+    return {node.name for node in walk(ast) if isinstance(node, FunctionDef)}
+
+
+def _derive_dependencies(effects: List[CommandEffects]) -> List[Dependency]:
+    deps: List[Dependency] = []
+    seen: Set[Tuple[int, int, str]] = set()
+
+    def add(src: int, dst: int, kind: str, via: str):
+        key = (src, dst, kind)
+        if key not in seen:
+            seen.add(key)
+            deps.append(Dependency(src, dst, kind, via))
+
+    for j, later in enumerate(effects):
+        for i in range(j):
+            earlier = effects[i]
+            for node in earlier.writes & later.reads:
+                add(i, j, "flow", f"node {node}")
+            for node in earlier.reads & later.writes:
+                add(i, j, "anti", f"node {node}")
+            for node in earlier.writes & later.writes:
+                add(i, j, "output", f"node {node}")
+            for name in earlier.var_defs & later.var_uses:
+                add(i, j, "var", f"${name}")
+            for name in earlier.var_defs & later.var_defs:
+                add(i, j, "var", f"${name} (redefinition)")
+            if earlier.external or later.external:
+                add(i, j, "external", "opaque command effects")
+    return deps
+
+
+def _render_command(command: Command, source: str) -> str:
+    pos = getattr(command, "pos", None)
+    if pos is not None:
+        lines = source.splitlines()
+        if 0 < pos.line <= len(lines):
+            return lines[pos.line - 1].strip()
+    return type(command).__name__

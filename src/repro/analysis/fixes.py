@@ -1,0 +1,346 @@
+"""Automatic fix suggestion and synthesis (paper §5, "Correctness").
+
+"Besides identifying potential errors, static analysis can be leveraged
+to automatically insert fixes targeting correctness. These might include
+synthesized dependency prologues that ensure that a script's
+dependencies are met — including expected file system state, available
+utilities, and shell environment."
+
+Two facilities:
+
+- :func:`suggest_fixes` — per-diagnostic repair suggestions, some of
+  them mechanically applicable (flag additions), others templates
+  (guards) presented IDE-style;
+- :func:`synthesize_prologue` — a dependency prologue derived from the
+  analysis: utilities the script invokes but that have no specification
+  (checked with ``command -v``), paths the script reads before ever
+  creating (checked with ``test -e``), and environment variables it
+  consumes (checked with ``${VAR:?}``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..checkers import default_checkers
+from ..diag import Diagnostic
+from ..fs import FsOp
+from ..shell import parse
+from ..shell.ast import SimpleCommand, walk
+from ..symex import Engine
+from .analyzer import analyze
+from .report import Report
+
+
+@dataclass
+class Fix:
+    """One suggested repair."""
+
+    code: str               # the diagnostic it addresses
+    line: int               # 1-based line in the original script
+    description: str
+    replacement: Optional[str] = None  # full-line replacement when mechanical
+    applicable: bool = False
+
+    def __str__(self) -> str:
+        mark = "auto" if self.applicable else "hint"
+        return f"line {self.line} [{mark}] {self.description}"
+
+
+# -- per-diagnostic suggesters ------------------------------------------------
+
+_PORTABLE_ALTERNATIVES = {
+    ("sed", "-i"): "write to a temporary file and mv it into place",
+    ("readlink", "-f"): "use `cd -P` + `pwd -P`, or ship a realpath helper",
+    ("date", "-d"): "compute relative dates in the caller or with awk",
+    ("date", "-v"): "compute relative dates in the caller or with awk",
+    ("sort", "-g"): "use `sort -n` when inputs are plain decimals",
+    ("grep", "-P"): "rewrite the pattern as an ERE and use grep -E",
+    ("ls", "--color"): "drop --color in scripts (it is for terminals)",
+    ("ls", "-G"): "drop -G in scripts (it is for terminals)",
+}
+
+
+def suggest_fixes(source: str, report: Optional[Report] = None, n_args: int = 0) -> List[Fix]:
+    """Suggestions for every repairable diagnostic of a script."""
+    if report is None:
+        report = analyze(source, n_args=n_args)
+    lines = source.splitlines()
+    fixes: List[Fix] = []
+    for diagnostic in report.diagnostics:
+        fixes.extend(_fixes_for(diagnostic, lines))
+    # deduplicate by (code, line, description)
+    seen = set()
+    unique = []
+    for fix in fixes:
+        key = (fix.code, fix.line, fix.description)
+        if key not in seen:
+            seen.add(key)
+            unique.append(fix)
+    return unique
+
+
+def _fixes_for(diagnostic: Diagnostic, lines: List[str]) -> List[Fix]:
+    line_no = diagnostic.pos.line if diagnostic.pos else 1
+    line = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+
+    if diagnostic.code == "dangerous-deletion":
+        variable = _variable_in(line)
+        guard = (
+            f'[ "$(realpath "${{{variable}}}/")" != "/" ] || exit 1'
+            if variable
+            else 'guard the deletion target against "/"'
+        )
+        return [
+            Fix(
+                code=diagnostic.code,
+                line=line_no,
+                description=f"insert a root guard before the deletion: {guard}",
+            )
+        ]
+
+    if diagnostic.code == "idempotence":
+        if re.search(r"\bmkdir\b", line) and " -p" not in line:
+            return [
+                Fix(
+                    code=diagnostic.code,
+                    line=line_no,
+                    description="make mkdir idempotent with -p",
+                    replacement=re.sub(r"\bmkdir\b", "mkdir -p", line, count=1),
+                    applicable=True,
+                )
+            ]
+        if re.search(r"\bln\s+-s\b", line) and "-sf" not in line and "-f" not in line:
+            return [
+                Fix(
+                    code=diagnostic.code,
+                    line=line_no,
+                    description="make ln idempotent with -f",
+                    replacement=re.sub(r"\bln\s+-s\b", "ln -sf", line, count=1),
+                    applicable=True,
+                )
+            ]
+        return []
+
+    if diagnostic.code == "undefined-variable":
+        variable = _variable_named_in(diagnostic.message)
+        if variable:
+            return [
+                Fix(
+                    code=diagnostic.code,
+                    line=line_no,
+                    description=f'fail fast when unset: use "${{{variable}:?}}" '
+                    "or give it a default with :-",
+                )
+            ]
+        return []
+
+    if diagnostic.code == "dead-stream":
+        return [
+            Fix(
+                code=diagnostic.code,
+                line=line_no,
+                description="the filter can never match its input type; "
+                "check case/anchoring of the pattern",
+            )
+        ]
+
+    if diagnostic.code == "platform-flag":
+        match = re.search(r"(\S+) (\-\-?\S+) is not available on (\S+);", diagnostic.message)
+        if match:
+            command, flag, target = match.groups()
+            hint = _PORTABLE_ALTERNATIVES.get((command, flag))
+            description = f"{command} {flag} is missing on {target}"
+            if hint:
+                description += f"; portable alternative: {hint}"
+            return [Fix(code=diagnostic.code, line=line_no, description=description)]
+        return []
+
+    if diagnostic.code == "always-fails":
+        return [
+            Fix(
+                code=diagnostic.code,
+                line=line_no,
+                description="this invocation contradicts earlier file-system "
+                "effects; reorder it or re-create the path first",
+            )
+        ]
+
+    return []
+
+
+def apply_fixes(source: str, fixes: Sequence[Fix]) -> str:
+    """Apply the mechanically-applicable fixes (full-line replacements)."""
+    lines = source.splitlines()
+    for fix in fixes:
+        if fix.applicable and fix.replacement is not None and 0 < fix.line <= len(lines):
+            lines[fix.line - 1] = fix.replacement
+    return "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+
+
+def _variable_in(line: str) -> Optional[str]:
+    match = re.search(r"\$\{?([A-Za-z_][A-Za-z0-9_]*)", line)
+    return match.group(1) if match else None
+
+
+def _variable_named_in(message: str) -> Optional[str]:
+    match = re.search(r"\$([A-Za-z_][A-Za-z0-9_]*)", message)
+    return match.group(1) if match else None
+
+
+# -- dependency prologue synthesis ------------------------------------------------
+
+
+@dataclass
+class Prologue:
+    utility_checks: List[str] = field(default_factory=list)
+    path_checks: List[str] = field(default_factory=list)
+    env_checks: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = ["# --- synthesized dependency prologue ---"]
+        for name in self.utility_checks:
+            lines.append(
+                f"command -v {name} >/dev/null 2>&1 || "
+                f'{{ echo "missing utility: {name}" >&2; exit 127; }}'
+            )
+        for path in self.path_checks:
+            lines.append(
+                f'[ -e "{path}" ] || {{ echo "missing path: {path}" >&2; exit 66; }}'
+            )
+        for variable in self.env_checks:
+            lines.append(f': "${{{variable}:?environment variable required}}"')
+        lines.append("# --- end prologue ---")
+        return "\n".join(lines)
+
+    def is_empty(self) -> bool:
+        return not (self.utility_checks or self.path_checks or self.env_checks)
+
+
+def synthesize_prologue(source: str, n_args: int = 0) -> Prologue:
+    """Derive a prologue guaranteeing the script's dependencies (§5)."""
+    ast = parse(source)
+    engine = Engine(checkers=default_checkers())
+    result = engine.run_script(source, n_args=n_args)
+
+    # 1. utilities: invoked commands without specs/builtins/functions
+    from ..symex import builtins as builtins_mod
+    from ..shell.ast import FunctionDef
+
+    defined = {n.name for n in walk(ast) if isinstance(n, FunctionDef)}
+    utilities: List[str] = []
+    for node in walk(ast):
+        if isinstance(node, SimpleCommand) and node.name:
+            name = node.name
+            if (
+                name not in defined
+                and not builtins_mod.is_builtin(name)
+                and engine.registry.get(name) is None
+                and name not in utilities
+            ):
+                utilities.append(name)
+
+    # 2. paths: concrete paths read/stat'ed on some path before the script
+    #    ever created them
+    created: Set[str] = set()
+    needed: List[str] = []
+    for state in result.states:
+        created_here: Set[str] = set()
+        for event in state.fs.log:
+            path = event.path
+            if "<" in path:  # symbolic segment: not checkable concretely
+                continue
+            if event.op in (FsOp.CREATE, FsOp.WRITE):
+                created_here.add(path)
+            elif event.op in (FsOp.READ, FsOp.LIST):
+                if path not in created_here and path not in needed:
+                    needed.append(path)
+
+    # 3. environment variables the script consumes
+    env_vars: List[str] = []
+    for diagnostic in result.diagnostics:
+        if diagnostic.code == "env-variable":
+            match = re.search(r"\$([A-Za-z_][A-Za-z0-9_]*)", diagnostic.message)
+            if match and match.group(1) not in env_vars and match.group(1) != "HOME":
+                env_vars.append(match.group(1))
+
+    return Prologue(
+        utility_checks=utilities, path_checks=needed, env_checks=env_vars
+    )
+
+
+# -- automatic platform porting (§5: "even automatically transform the
+# program to equivalent variations for different platforms") -------------------
+
+
+@dataclass
+class PortResult:
+    source: str
+    rewrites: List[str] = field(default_factory=list)
+    unresolved: List[str] = field(default_factory=list)
+
+    @property
+    def fully_portable(self) -> bool:
+        return not self.unresolved
+
+
+def port_script(source: str, target: str = "macos") -> PortResult:
+    """Rewrite platform-dependent invocations into portable equivalents.
+
+    Mechanical rewrites (applied):
+    - ``sed -i EXPR FILE``      -> temp-file-and-mv dance
+    - ``readlink -f PATH``      -> ``realpath PATH``
+    - ``date -I``               -> ``date +%F``
+    - ``ls --color[=...]``      -> flag dropped
+    - ``grep -P PAT``           -> ``grep -E PAT`` when the pattern has no
+      Perl-only constructs
+
+    Anything else flagged by the platform checker is reported as
+    unresolved (a human rewrite is needed).
+    """
+    lines = source.splitlines()
+    rewrites: List[str] = []
+
+    for idx, line in enumerate(lines):
+        new_line, note = _port_line(line)
+        if note:
+            lines[idx] = new_line
+            rewrites.append(f"line {idx + 1}: {note}")
+
+    ported = "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+    report = analyze(ported, platform_targets=[target])
+    unresolved = [
+        diagnostic.message for diagnostic in report.by_code("platform-flag")
+    ]
+    return PortResult(source=ported, rewrites=rewrites, unresolved=unresolved)
+
+
+def _port_line(line: str):
+    match = re.match(r"^(\s*)sed\s+-i\s+(\S+)\s+(\S+)\s*$", line)
+    if match:
+        indent, expr, target_file = match.groups()
+        rewritten = (
+            f"{indent}sed {expr} {target_file} > {target_file}.tmp && "
+            f"mv {target_file}.tmp {target_file}"
+        )
+        return rewritten, "sed -i rewritten via temp file"
+    match = re.match(r"^(\s*)(.*)\breadlink\s+-f\b(.*)$", line)
+    if match:
+        indent, before, after = match.groups()
+        return f"{indent}{before}realpath{after}", "readlink -f -> realpath"
+    match = re.match(r"^(\s*)(.*)\bdate\s+-I\b(.*)$", line)
+    if match:
+        indent, before, after = match.groups()
+        return f"{indent}{before}date +%F{after}", "date -I -> date +%F"
+    if re.search(r"\bls\b[^|;]*--color(=\w+)?", line):
+        rewritten = re.sub(r"\s*--color(=\w+)?", "", line)
+        return rewritten, "ls --color dropped"
+    match = re.search(r"\bgrep\s+-P\s+('[^']*'|\"[^\"]*\"|\S+)", line)
+    if match:
+        pattern = match.group(1)
+        if not re.search(r"\(\?|\\[A-Z]|\\d|\\w|\\s", pattern):
+            rewritten = line.replace("grep -P", "grep -E", 1)
+            return rewritten, "grep -P -> grep -E (pattern is ERE-safe)"
+    return line, None

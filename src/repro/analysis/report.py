@@ -1,0 +1,64 @@
+"""Analysis reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..diag import Diagnostic, Severity
+
+
+@dataclass
+class Report:
+    """The analyzer's verdict on one script."""
+
+    source: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    paths_explored: int = 0
+    paths_merged: int = 0
+    states: int = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        """No errors or warnings (infos are advisory)."""
+        return not self.errors() and not self.warnings()
+
+    @property
+    def unsafe(self) -> bool:
+        """At least one definite incorrectness."""
+        return bool(self.errors())
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        lines = []
+        shown = [d for d in self.diagnostics if not (d.severity < min_severity)]
+        for diag in sorted(
+            shown, key=lambda d: (d.pos.line if d.pos else 0, d.pos.col if d.pos else 0)
+        ):
+            lines.append(diag.render())
+        summary = (
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s), "
+            f"{len(self.infos())} note(s) — "
+            f"{self.paths_explored} path step(s) explored, "
+            f"{self.states} final state(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Execution-path visualisation (paper §5, "Comprehension").
+
+"An interactive program visualization system, identifying possible
+behaviors and allowing users to explore the impact of different
+environments or assumption violations, could make all the difference."
+
+This module renders the symbolic execution tree of a script as text:
+one branch per explored world, showing the path conditions (the notes
+accumulated at each fork), the final status, observable variable values,
+file-system effects, and any diagnostics raised on that path — readable
+without programming-languages background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checkers import default_checkers
+from ..fs import FsOp
+from ..symex import Engine, ExecResult, SymState
+
+
+@dataclass
+class PathView:
+    """A digest of one execution world."""
+
+    index: int
+    conditions: List[str]
+    status: Optional[int]
+    variables: Dict[str, str]
+    effects: List[str]
+    findings: List[str]
+
+    def render(self, indent: str = "  ") -> str:
+        lines = [f"path #{self.index}" + (f" (exit {self.status})" if self.status is not None else " (exit ?)")]
+        for condition in self.conditions:
+            lines.append(f"{indent}when {condition}")
+        if self.variables:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.variables.items()))
+            lines.append(f"{indent}vars: {rendered}")
+        for effect in self.effects:
+            lines.append(f"{indent}does: {effect}")
+        for finding in self.findings:
+            lines.append(f"{indent}⚠ {finding}")
+        return "\n".join(lines)
+
+
+def explore(source: str, n_args: int = 0, max_paths: int = 16) -> List[PathView]:
+    """All explored execution worlds of a script."""
+    engine = Engine(checkers=default_checkers())
+    result = engine.run_script(source, n_args=n_args)
+    return views_of(result, max_paths=max_paths)
+
+
+def views_of(result: ExecResult, max_paths: int = 16) -> List[PathView]:
+    views = []
+    for index, state in enumerate(result.states[:max_paths]):
+        views.append(_view(index, state))
+    return views
+
+
+def _view(index: int, state: SymState) -> PathView:
+    variables = {}
+    for name, value in state.env.items():
+        variables[name] = value.describe(state.store)
+    effects = []
+    for event in state.fs.log:
+        if event.op in (FsOp.DELETE, FsOp.CREATE, FsOp.WRITE):
+            effects.append(str(event))
+    findings = [d.render() for d in state.diagnostics]
+    return PathView(
+        index=index,
+        conditions=list(state.notes),
+        status=state.status,
+        variables=variables,
+        effects=effects,
+        findings=findings,
+    )
+
+
+def render_tree(source: str, n_args: int = 0, max_paths: int = 16) -> str:
+    """A full textual exploration of a script's behaviours."""
+    views = explore(source, n_args=n_args, max_paths=max_paths)
+    header = f"{len(views)} execution world(s):"
+    body = "\n\n".join(view.render() for view in views)
+    return header + "\n\n" + body
+
+
+def behaviour_summary(source: str, n_args: int = 0) -> str:
+    """A one-screen digest: statuses, effect classes, finding counts —
+    the 'what can this script do to my machine' view."""
+    engine = Engine(checkers=default_checkers())
+    result = engine.run_script(source, n_args=n_args)
+
+    statuses = sorted(
+        {"?" if s.status is None else str(s.status) for s in result.states}
+    )
+    deletes, creates, writes = set(), set(), set()
+    for state in result.states:
+        for event in state.fs.log:
+            if event.op is FsOp.DELETE:
+                deletes.add(event.path)
+            elif event.op is FsOp.CREATE:
+                creates.add(event.path)
+            elif event.op is FsOp.WRITE:
+                writes.add(event.path)
+
+    lines = [
+        f"worlds explored : {len(result.states)}",
+        f"possible exits  : {', '.join(statuses) or 'none'}",
+    ]
+    if deletes:
+        lines.append(f"may delete      : {', '.join(sorted(deletes))}")
+    if creates:
+        lines.append(f"may create      : {', '.join(sorted(creates))}")
+    if writes:
+        lines.append(f"may write       : {', '.join(sorted(writes))}")
+    errors = [d for d in result.diagnostics if d.severity.value == "error"]
+    warnings = [d for d in result.diagnostics if d.severity.value == "warning"]
+    lines.append(f"findings        : {len(errors)} error(s), {len(warnings)} warning(s)")
+    for diagnostic in errors + warnings:
+        lines.append(f"   {diagnostic.render()}")
+    return "\n".join(lines)

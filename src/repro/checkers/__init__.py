@@ -1,0 +1,35 @@
+"""The incorrectness-criteria catalog (paper §4)."""
+
+from .base import Checker
+from .deletion import DangerousDeletionChecker, danger_language, home_language
+from .idempotence import IdempotenceChecker
+from .platform import PlatformChecker
+from .streams import AlwaysFailsChecker, DeadCaseChecker, StreamTypeChecker
+
+
+def default_checkers(platform_targets=None):
+    """The standard catalog used by the analyzer."""
+    checkers = [
+        DangerousDeletionChecker(),
+        StreamTypeChecker(),
+        DeadCaseChecker(),
+        AlwaysFailsChecker(),
+        IdempotenceChecker(),
+    ]
+    if platform_targets:
+        checkers.append(PlatformChecker(platform_targets))
+    return checkers
+
+
+__all__ = [
+    "Checker",
+    "default_checkers",
+    "DangerousDeletionChecker",
+    "StreamTypeChecker",
+    "DeadCaseChecker",
+    "AlwaysFailsChecker",
+    "IdempotenceChecker",
+    "PlatformChecker",
+    "danger_language",
+    "home_language",
+]

@@ -1,0 +1,97 @@
+"""Checker interface: incorrectness criteria observing symbolic execution.
+
+Paper §4 "incorrectness criteria": there is no single definition of a
+buggy shell script, so the analyzer hosts a *catalog* of criteria, each
+implemented as a checker that observes engine events (command
+applications, deletions, case dispatch, pipeline typing, contradictions)
+and emits diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..diag import Diagnostic
+from ..shell.ast import Case, CaseItem, Command, Pipeline, SimpleCommand, Word
+from ..symstr import SymString
+
+if TYPE_CHECKING:
+    from ..specs.ir import CommandSpec, Invocation
+    from ..symex.state import SymState
+
+
+def concrete_flags(argv: List[SymString], spec: Optional["CommandSpec"]) -> List[str]:
+    """The flags of a symbolic argv, respecting value-taking options
+    (``date -v -1d`` uses one flag, not three)."""
+    flags: List[str] = []
+    idx = 1
+    while idx < len(argv):
+        concrete = argv[idx].concrete_value()
+        if concrete == "--":
+            break
+        if concrete is None or not concrete.startswith("-") or concrete == "-":
+            idx += 1
+            continue
+        if concrete.startswith("--"):
+            key = concrete.split("=", 1)[0]
+            flags.append(key)
+            if spec is not None and spec.long_options.get(key[2:]) and "=" not in concrete:
+                idx += 1
+        else:
+            jdx = 1
+            while jdx < len(concrete):
+                char = concrete[jdx]
+                flags.append("-" + char)
+                if spec is not None and spec.options.get(char):
+                    if jdx + 1 >= len(concrete):
+                        idx += 1  # the value is the next word
+                    break
+                jdx += 1
+        idx += 1
+    return flags
+
+
+class Checker:
+    """Base class; override the hooks you care about."""
+
+    name = "checker"
+
+    def on_command(
+        self,
+        state: "SymState",
+        node: SimpleCommand,
+        argv: List[SymString],
+        spec: Optional["CommandSpec"],
+    ) -> None:
+        """Called for every simple command before effects are applied."""
+
+    def on_delete(
+        self,
+        state: "SymState",
+        node: SimpleCommand,
+        operand: SymString,
+        recursive: bool,
+    ) -> None:
+        """Called when a command is about to delete ``operand``."""
+
+    def on_case_arm(
+        self,
+        state: "SymState",
+        node: Case,
+        item: CaseItem,
+        feasible: bool,
+        static_pattern: bool,
+    ) -> None:
+        """Called per case arm with its feasibility."""
+
+    def on_always_fails(
+        self, state: "SymState", node: SimpleCommand, reason: str
+    ) -> None:
+        """Called when a command's success clauses all contradict facts."""
+
+    def on_pipeline(self, state: "SymState", node: Pipeline, issues) -> None:
+        """Called with the stream-typing issues of a pipeline."""
+
+    def finish(self, states: Sequence["SymState"]) -> List[Diagnostic]:
+        """Called once after exploration; may emit whole-program findings."""
+        return []

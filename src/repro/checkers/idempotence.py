@@ -1,0 +1,50 @@
+"""Idempotence criterion (paper §4, citing the CoLiS project [15]).
+
+Installation scripts should be safely re-runnable.  Commands that
+succeed on the first run and fail on the second — `mkdir` without `-p`,
+`ln -s` without `-f` — are idempotence hazards.  The engine's fs model
+additionally catches the stronger form (a second run *within* the same
+script, e.g. two `mkdir X`) as an always-fails contradiction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..diag import Diagnostic, Severity
+from ..shell.ast import SimpleCommand
+from .base import Checker
+
+#: (command, flag that makes it idempotent, flags that exempt)
+_HAZARDS = {
+    "mkdir": ("-p", "re-running fails because the directory already exists"),
+    "ln": ("-f", "re-running fails because the link target already exists"),
+}
+
+
+class IdempotenceChecker(Checker):
+    name = "idempotence"
+
+    def on_command(self, state, node: SimpleCommand, argv, spec) -> None:
+        name = node.name
+        if name not in _HAZARDS:
+            return
+        needed_flag, reason = _HAZARDS[name]
+        flags = {
+            value
+            for value in (a.concrete_value() for a in argv[1:])
+            if value and value.startswith("-")
+        }
+        flagchars = set("".join(f[1:] for f in flags if not f.startswith("--")))
+        if needed_flag.lstrip("-") in flagchars:
+            return
+        state.warn(
+            Diagnostic(
+                code="idempotence",
+                message=(
+                    f"{name} without {needed_flag} is not idempotent: {reason}"
+                ),
+                severity=Severity.INFO,
+                pos=node.pos,
+            )
+        )

@@ -1,0 +1,45 @@
+"""Platform-compatibility criterion (paper §5 "Correctness").
+
+A script written on one platform may use flags absent on another (GNU
+``sed -i`` vs BSD, ``readlink -f`` on macOS, ...).  Given a set of
+*deployment targets*, warn about every invocation using a flag the spec
+marks unavailable there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..diag import Diagnostic, Severity
+from ..shell.ast import SimpleCommand
+from .base import Checker, concrete_flags
+
+
+class PlatformChecker(Checker):
+    name = "platform"
+
+    def __init__(self, targets: Sequence[str] = ("linux", "macos")):
+        self.targets = list(targets)
+
+    def on_command(self, state, node: SimpleCommand, argv, spec) -> None:
+        if spec is None or not spec.platform_flags:
+            return
+        used_flags = set(concrete_flags(argv, spec))
+        for flag in sorted(used_flags):
+            platforms = spec.platform_flags.get(flag)
+            if platforms is None:
+                continue
+            missing = [t for t in self.targets if t not in platforms]
+            for target in missing:
+                state.warn(
+                    Diagnostic(
+                        code="platform-flag",
+                        message=(
+                            f"{spec.name} {flag} is not available on "
+                            f"{target}; this script is not portable there"
+                        ),
+                        severity=Severity.WARNING,
+                        pos=node.pos,
+                        source="platform",
+                    )
+                )

@@ -1,0 +1,225 @@
+"""Command-line entry points.
+
+- ``repro-analyze``  — semantics-driven static analysis of a script
+- ``repro-lint``     — the syntactic baseline (ShellCheck-class)
+- ``repro-typeof``   — type introspection (§4's ``typeOf`` utility)
+- ``repro-monitor``  — run a command under runtime stream monitoring
+- ``repro-verify``   — policy verification for curl-to-sh pipelines (§5)
+- ``repro-mine``     — mine a command's specification from documentation
+
+Without a build step the same entry points are available as
+``python -m repro.cli <tool> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _read_script(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+# ---------------------------------------------------------------------------
+# repro-analyze
+# ---------------------------------------------------------------------------
+
+
+def main_analyze(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Ahead-of-time semantics-driven analysis of a shell script.",
+    )
+    parser.add_argument("script", help="script path, or - for stdin")
+    parser.add_argument("--args", type=int, default=0, help="number of positional args")
+    parser.add_argument(
+        "--platforms", nargs="*", default=None, help="deployment platforms to check"
+    )
+    parser.add_argument("--lint", action="store_true", help="also run the syntactic baseline")
+    parser.add_argument(
+        "--errors-only", action="store_true", help="show only definite errors"
+    )
+    options = parser.parse_args(argv)
+
+    from .analysis import analyze
+    from .diag import Severity
+
+    report = analyze(
+        _read_script(options.script),
+        n_args=options.args,
+        platform_targets=options.platforms,
+        include_lint=options.lint,
+    )
+    min_severity = Severity.ERROR if options.errors_only else Severity.INFO
+    print(report.render(min_severity=min_severity))
+    return 1 if report.unsafe else 0
+
+
+# ---------------------------------------------------------------------------
+# repro-lint
+# ---------------------------------------------------------------------------
+
+
+def main_lint(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="Syntactic (ShellCheck-class) linting."
+    )
+    parser.add_argument("script")
+    options = parser.parse_args(argv)
+
+    from .lint import lint
+
+    diagnostics = lint(_read_script(options.script))
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    return 1 if diagnostics else 0
+
+
+# ---------------------------------------------------------------------------
+# repro-typeof
+# ---------------------------------------------------------------------------
+
+
+def main_typeof(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-typeof",
+        description="Type introspection: a named type, or a command invocation's "
+        "stream signature.",
+    )
+    parser.add_argument(
+        "what", nargs=argparse.REMAINDER, help="a type name, or a command + args"
+    )
+    options = parser.parse_args(argv)
+    if not options.what:
+        parser.error("expected a type name or a command invocation")
+
+    from .rtypes import named_type, named_type_names, signature_for
+
+    if len(options.what) == 1:
+        stream = named_type(options.what[0])
+        if stream is not None:
+            print(f"{options.what[0]} :: {stream.line.pattern}")
+            return 0
+    signature = signature_for(options.what)
+    if signature is not None:
+        print(signature)
+        return 0
+    print(
+        f"no type for {' '.join(options.what)!r}; known named types: "
+        + ", ".join(named_type_names()),
+        file=sys.stderr,
+    )
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# repro-monitor
+# ---------------------------------------------------------------------------
+
+
+def main_monitor(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-monitor",
+        description="Run a command with stdout monitored against a regular type; "
+        "the command is killed on the first violating line.",
+    )
+    parser.add_argument("--type", required=True, help="expected output line type")
+    parser.add_argument("command", nargs="+")
+    options = parser.parse_args(argv)
+
+    from .monitor import MonitorViolation, monitor_subprocess
+    from .rtypes import type_of
+
+    stdin_lines = [line.rstrip("\n") for line in sys.stdin] if not sys.stdin.isatty() else []
+    try:
+        for line in monitor_subprocess(
+            options.command, stdin_lines, type_of(options.type)
+        ):
+            print(line)
+    except MonitorViolation as violation:
+        print(f"monitor: halted: {violation}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-verify
+# ---------------------------------------------------------------------------
+
+
+def main_verify(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Verify a script against a policy before executing it "
+        "(e.g. curl url | repro-verify --no-RW ~/mine - && curl url | sh).",
+    )
+    parser.add_argument("script", help="script path, or - for stdin")
+    parser.add_argument("--args", type=int, default=0)
+    parser.add_argument(
+        "policy",
+        nargs=argparse.REMAINDER,
+        help="policy rules: --no-RW PATH, --no-W PATH, --no-R PATH",
+    )
+    options, unknown = parser.parse_known_args(argv)
+
+    from .monitor import Verdict, parse_policy, verify_script
+
+    rules = parse_policy(list(unknown) + list(options.policy))
+    result = verify_script(_read_script(options.script), rules, n_args=options.args)
+    print(result.render())
+    return 0 if result.verdict is Verdict.ALLOW else 1
+
+
+# ---------------------------------------------------------------------------
+# repro-mine
+# ---------------------------------------------------------------------------
+
+
+def main_mine(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Mine a command's Hoare-triple specification from its "
+        "documentation via instrumented probing (Fig. 4).",
+    )
+    parser.add_argument("command", help="command name (must have a bundled man page)")
+    parser.add_argument(
+        "--real", action="store_true", help="probe the real binary in a sandbox"
+    )
+    parser.add_argument("--max-flags", type=int, default=2)
+    options = parser.parse_args(argv)
+
+    from .miner import ModelProber, SubprocessProber, mine_command
+
+    prober = SubprocessProber() if options.real else ModelProber()
+    spec = mine_command(options.command, prober=prober, max_flags=options.max_flags)
+    print(f"# mined specification for {spec.name}: {spec.summary}")
+    for triple in spec.triples():
+        print(triple)
+    return 0
+
+
+_TOOLS = {
+    "analyze": main_analyze,
+    "lint": main_lint,
+    "typeof": main_typeof,
+    "monitor": main_monitor,
+    "verify": main_verify,
+    "mine": main_mine,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _TOOLS:
+        print(f"usage: python -m repro.cli {{{','.join(_TOOLS)}}} ...", file=sys.stderr)
+        return 2
+    return _TOOLS[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

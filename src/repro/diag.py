@@ -1,0 +1,59 @@
+"""Diagnostics shared by the engine, checkers, linter, and analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from .shell.tokens import Position
+
+
+class Severity(Enum):
+    ERROR = "error"      # definite incorrectness on some/all paths
+    WARNING = "warning"  # likely incorrectness
+    INFO = "info"        # noteworthy (untyped command, platform hint)
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = [Severity.INFO, Severity.WARNING, Severity.ERROR]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    code: str            # e.g. "dangerous-deletion", "dead-stream"
+    message: str
+    severity: Severity = Severity.WARNING
+    pos: Optional[Position] = None
+    #: does the issue hold on every execution path ("always") or only on
+    #: some feasible path ("may")?
+    always: bool = False
+    #: evidence: e.g. a concrete variable assignment triggering the bug
+    witness: str = ""
+    source: str = "semantic"  # "semantic" | "lint" | "types" | "platform"
+
+    def render(self) -> str:
+        location = f"{self.pos}: " if self.pos else ""
+        modality = "always" if self.always else "may"
+        tail = f" [witness: {self.witness}]" if self.witness else ""
+        return (
+            f"{location}{self.severity.value}[{self.code}] ({modality}) "
+            f"{self.message}{tail}"
+        )
+
+    def key(self) -> Tuple:
+        return (self.code, self.message, str(self.pos), self.always)
+
+
+def dedupe(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Drop duplicates, preferring 'always' over 'may' for the same issue."""
+    chosen = {}
+    order = []
+    for diag in diagnostics:
+        key = (diag.code, diag.message, str(diag.pos))
+        if key not in chosen:
+            chosen[key] = diag
+            order.append(key)
+        elif diag.always and not chosen[key].always:
+            chosen[key] = diag
+    return [chosen[k] for k in order]

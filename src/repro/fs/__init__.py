@@ -1,0 +1,26 @@
+"""Symbolic file-system model with node identity (paper §4)."""
+
+from .events import EventLog, FsEvent, FsOp
+from .model import (
+    Existence,
+    FileSystem,
+    FsContradiction,
+    NodeKind,
+    NodeRecord,
+)
+from .path import SymPath, SymSegment, normalise_concrete, parse_sympath
+
+__all__ = [
+    "FileSystem",
+    "FsContradiction",
+    "Existence",
+    "NodeKind",
+    "NodeRecord",
+    "EventLog",
+    "FsEvent",
+    "FsOp",
+    "SymPath",
+    "SymSegment",
+    "parse_sympath",
+    "normalise_concrete",
+]

@@ -1,0 +1,62 @@
+"""File-system event traces.
+
+Every mutation and observation of the symbolic file system is recorded
+as an event.  Traces serve two masters: the miner's instrumented probing
+(§3, Fig. 4 "instrument and execute all command invocations") and the
+read/write dependency analysis enabling optimisation (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional
+
+
+class FsOp(Enum):
+    STAT = auto()        # existence/kind observed
+    READ = auto()        # file contents read
+    WRITE = auto()       # file contents written/created
+    CREATE = auto()      # node created
+    DELETE = auto()      # node removed
+    CHDIR = auto()       # working directory changed
+    LIST = auto()        # directory listed
+
+
+@dataclass(frozen=True)
+class FsEvent:
+    op: FsOp
+    path: str
+    node: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.op.name.lower()} {self.path}{extra}"
+
+
+class EventLog:
+    """An append-only trace; forked states share the prefix by copy."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Optional[List[FsEvent]] = None):
+        self.events = list(events or [])
+
+    def record(self, op: FsOp, path: str, node: Optional[int] = None, detail: str = "") -> None:
+        self.events.append(FsEvent(op, path, node, detail))
+
+    def fork(self) -> "EventLog":
+        return EventLog(self.events)
+
+    def reads(self) -> List[FsEvent]:
+        return [e for e in self.events if e.op in (FsOp.READ, FsOp.STAT, FsOp.LIST)]
+
+    def writes(self) -> List[FsEvent]:
+        return [e for e in self.events if e.op in (FsOp.WRITE, FsOp.CREATE, FsOp.DELETE)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

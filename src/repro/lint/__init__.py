@@ -1,0 +1,6 @@
+"""Baseline syntactic linter (ShellCheck-class, paper §2)."""
+
+from .engine import lint, lint_codes
+from .rules import ALL_RULES, LintRule
+
+__all__ = ["lint", "lint_codes", "ALL_RULES", "LintRule"]

@@ -1,0 +1,23 @@
+"""The baseline linter driver."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..diag import Diagnostic, dedupe
+from ..shell import parse
+from .rules import ALL_RULES, LintRule
+
+
+def lint(source: str, rules: Optional[Sequence[LintRule]] = None) -> List[Diagnostic]:
+    """Run the syntactic rule set over a script."""
+    ast = parse(source)
+    active = list(rules) if rules is not None else ALL_RULES
+    diagnostics: List[Diagnostic] = []
+    for rule in active:
+        diagnostics.extend(rule.check(ast))
+    return dedupe(diagnostics)
+
+
+def lint_codes(source: str) -> List[str]:
+    return sorted({d.code for d in lint(source)})

@@ -1,0 +1,488 @@
+"""Syntactic lint rules, ShellCheck-class (paper §2).
+
+Each rule matches a *syntactic pattern* — no symbolic execution, no
+constraint tracking, no context sensitivity.  This is the baseline the
+paper contrasts against: it warns on Fig. 1, still warns on the safe
+Fig. 2 (false positive), assigns the unsafe Fig. 3 exactly the same
+generic warning (failing to identify its unambiguous incorrectness), and
+is silent about Fig. 5's dead grep filter.
+
+Rule codes follow ShellCheck's numbering where a counterpart exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..diag import Diagnostic, Severity
+from ..shell.ast import (
+    AndOr,
+    Assignment,
+    Case,
+    CmdSubPart,
+    Command,
+    For,
+    GlobPart,
+    If,
+    LiteralPart,
+    ParamPart,
+    Pipeline,
+    Sequence,
+    SimpleCommand,
+    While,
+    Word,
+    walk,
+)
+
+#: Variables the shell sets itself; using them unassigned is fine.
+_SHELL_VARS = {
+    "HOME", "PWD", "OLDPWD", "PATH", "IFS", "PS1", "PS2", "LANG", "TERM",
+    "USER", "SHELL", "HOSTNAME", "RANDOM", "LINENO", "OPTARG", "OPTIND",
+    "REPLY", "TMPDIR", "EDITOR", "PAGER",
+}
+
+
+def _lint(code: str, message: str, word_or_node, severity=Severity.WARNING) -> Diagnostic:
+    pos = getattr(word_or_node, "pos", None)
+    return Diagnostic(
+        code=code, message=message, severity=severity, pos=pos, source="lint"
+    )
+
+
+class LintRule:
+    code = "SC0000"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        return iter(())
+
+
+class UnquotedExpansionRule(LintRule):
+    """SC2086: unquoted $var in command arguments."""
+
+    code = "SC2086"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in node.words[1:] if node.words else []:
+                for part in word.parts:
+                    if isinstance(part, ParamPart) and not part.quoted:
+                        yield _lint(
+                            self.code,
+                            f"Double quote ${part.name} to prevent globbing "
+                            "and word splitting.",
+                            word,
+                        )
+                        break
+
+
+class RmVariablePathRule(LintRule):
+    """SC2115: `rm` on `$var/...` — suggest ${var:?}.
+
+    This is the rule ShellCheck fires on Fig. 1 — and, being syntactic,
+    on Figs. 2 and 3 alike.
+    """
+
+    code = "SC2115"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand) or node.name != "rm":
+                continue
+            for word in node.words[1:]:
+                if self._is_var_slash(word):
+                    name = self._leading_var(word)
+                    yield _lint(
+                        self.code,
+                        f'Use "${{{name}:?}}" to ensure this never expands '
+                        "to /* .",
+                        word,
+                    )
+
+    @staticmethod
+    def _leading_var(word: Word) -> Optional[str]:
+        for part in word.parts:
+            if isinstance(part, ParamPart):
+                return part.name
+        return None
+
+    @staticmethod
+    def _is_var_slash(word: Word) -> bool:
+        parts = word.parts
+        for idx, part in enumerate(parts):
+            if isinstance(part, ParamPart) and part.op is None:
+                rest = parts[idx + 1 :]
+                if not rest:
+                    continue
+                nxt = rest[0]
+                if isinstance(nxt, LiteralPart) and nxt.text.startswith("/"):
+                    return True
+        return False
+
+
+class CdWithoutGuardRule(LintRule):
+    """SC2164: `cd` that is not guarded by || exit or a condition."""
+
+    code = "SC2164"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        guarded = set()
+        for node in walk(ast):
+            if isinstance(node, AndOr):
+                for side in (node.left, node.right):
+                    for sub in walk(side):
+                        if isinstance(sub, SimpleCommand) and sub.name == "cd":
+                            guarded.add(id(sub))
+            if isinstance(node, (If, While)):
+                for sub in walk(node.cond):
+                    if isinstance(sub, SimpleCommand) and sub.name == "cd":
+                        guarded.add(id(sub))
+        for node in walk(ast):
+            if (
+                isinstance(node, SimpleCommand)
+                and node.name == "cd"
+                and id(node) not in guarded
+            ):
+                yield _lint(
+                    self.code,
+                    "Use 'cd ... || exit' in case cd fails.",
+                    node,
+                )
+
+
+class BackticksRule(LintRule):
+    """SC2006: legacy backtick command substitution."""
+
+    code = "SC2006"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in list(node.words) + [a.value for a in node.assignments]:
+                if "`" in word.raw:
+                    yield _lint(
+                        self.code,
+                        "Use $(...) notation instead of legacy backticks.",
+                        word,
+                        severity=Severity.INFO,
+                    )
+
+
+class DollarInSingleQuotesRule(LintRule):
+    """SC2016: $ inside single quotes does not expand."""
+
+    code = "SC2016"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in node.words:
+                raw = word.raw
+                idx = raw.find("'")
+                while idx != -1:
+                    end = raw.find("'", idx + 1)
+                    if end == -1:
+                        break
+                    if "$" in raw[idx:end]:
+                        yield _lint(
+                            self.code,
+                            "Expressions don't expand in single quotes; "
+                            'use double quotes for that.',
+                            word,
+                            severity=Severity.INFO,
+                        )
+                        break
+                    idx = raw.find("'", end + 1)
+
+
+class UnassignedVariableRule(LintRule):
+    """SC2154: variable referenced but never assigned in this script."""
+
+    code = "SC2154"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        assigned = set(_SHELL_VARS)
+        for node in walk(ast):
+            if isinstance(node, SimpleCommand):
+                for assignment in node.assignments:
+                    assigned.add(assignment.name)
+                if node.name in ("export", "read", "local", "readonly") and node.words:
+                    for word in node.words[1:]:
+                        text = word.literal_text() or ""
+                        assigned.add(text.split("=", 1)[0])
+            if isinstance(node, For):
+                assigned.add(node.var)
+        seen = set()
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in node.words:
+                for part in word.parts:
+                    if (
+                        isinstance(part, ParamPart)
+                        and part.op is None
+                        and part.name not in assigned
+                        and not part.name.isdigit()
+                        and part.name not in "#?@*$!-"
+                        and part.name not in seen
+                    ):
+                        seen.add(part.name)
+                        yield _lint(
+                            self.code,
+                            f"{part.name} is referenced but not assigned.",
+                            word,
+                        )
+
+
+class UnusedVariableRule(LintRule):
+    """SC2034: variable assigned but never used."""
+
+    code = "SC2034"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        used = set()
+        for node in walk(ast):
+            if isinstance(node, SimpleCommand):
+                for word in node.words:
+                    for part in _all_params(word):
+                        used.add(part.name)
+                for assignment in node.assignments:
+                    for part in _all_params(assignment.value):
+                        used.add(part.name)
+            elif isinstance(node, Case):
+                for part in _all_params(node.subject):
+                    used.add(part.name)
+        reported = set()
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for assignment in node.assignments:
+                if assignment.name not in used and assignment.name not in reported:
+                    reported.add(assignment.name)
+                    yield _lint(
+                        self.code,
+                        f"{assignment.name} appears unused. "
+                        "Verify use (or export if used externally).",
+                        assignment,
+                        severity=Severity.INFO,
+                    )
+
+
+class ReadWithoutRRule(LintRule):
+    """SC2162: read without -r mangles backslashes."""
+
+    code = "SC2162"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand) or node.name != "read":
+                continue
+            flags = "".join(
+                (w.literal_text() or "") for w in node.words[1:]
+                if (w.literal_text() or "").startswith("-")
+            )
+            if "r" not in flags:
+                yield _lint(
+                    self.code,
+                    "read without -r will mangle backslashes.",
+                    node,
+                    severity=Severity.INFO,
+                )
+
+
+class UnquotedCommandSubRule(LintRule):
+    """SC2046: unquoted $(...) undergoes word splitting."""
+
+    code = "SC2046"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in node.words[1:] if node.words else []:
+                for part in word.parts:
+                    if isinstance(part, CmdSubPart) and not part.quoted:
+                        yield _lint(
+                            self.code,
+                            "Quote this to prevent word splitting.",
+                            word,
+                        )
+                        break
+
+
+class AndOrChainRule(LintRule):
+    """SC2015: `A && B || C` is not if-then-else."""
+
+    code = "SC2015"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if (
+                isinstance(node, AndOr)
+                and node.op == "||"
+                and isinstance(node.left, AndOr)
+                and node.left.op == "&&"
+            ):
+                yield _lint(
+                    self.code,
+                    "Note that A && B || C is not if-then-else: "
+                    "C may run when A is true.",
+                    node,
+                    severity=Severity.INFO,
+                )
+
+
+class UnquotedAtRule(LintRule):
+    """SC2068: unquoted $@ undergoes splitting and globbing."""
+
+    code = "SC2068"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            for word in node.words:
+                for part in word.parts:
+                    if (
+                        isinstance(part, ParamPart)
+                        and part.name == "@"
+                        and not part.quoted
+                    ):
+                        yield _lint(
+                            self.code,
+                            'Double quote array expansions: use "$@".',
+                            word,
+                        )
+
+
+class DeprecatedTestConnectiveRule(LintRule):
+    """SC2166: [ a -a b ] / [ a -o b ] are not well defined; prefer
+    [ a ] && [ b ]."""
+
+    code = "SC2166"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand) or node.name not in ("[", "test"):
+                continue
+            for word in node.words[1:]:
+                if word.literal_text() in ("-a", "-o"):
+                    connective = "&&" if word.literal_text() == "-a" else "||"
+                    yield _lint(
+                        self.code,
+                        f"Prefer [ p ] {connective} [ q ] as "
+                        f"[ p {word.literal_text()} q ] is not well defined.",
+                        node,
+                        severity=Severity.INFO,
+                    )
+                    break
+
+
+class GrepWcRule(LintRule):
+    """SC2126: grep | wc -l can be grep -c."""
+
+    code = "SC2126"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, Pipeline):
+                continue
+            names = [
+                c.name for c in node.commands if isinstance(c, SimpleCommand)
+            ]
+            for idx in range(len(names) - 1):
+                if names[idx] == "grep" and names[idx + 1] == "wc":
+                    wc = node.commands[idx + 1]
+                    flags = "".join(
+                        w.literal_text() or "" for w in wc.words[1:]
+                    )
+                    if "l" in flags:
+                        yield _lint(
+                            self.code,
+                            "Consider using grep -c instead of grep | wc -l.",
+                            node,
+                            severity=Severity.INFO,
+                        )
+
+
+class UselessCatRule(LintRule):
+    """SC2002: cat FILE | cmd — cmd can read the file itself."""
+
+    code = "SC2002"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, Pipeline) or len(node.commands) < 2:
+                continue
+            first = node.commands[0]
+            if (
+                isinstance(first, SimpleCommand)
+                and first.name == "cat"
+                and len(first.words) == 2
+                and first.words[1].literal_text()
+            ):
+                yield _lint(
+                    self.code,
+                    "Useless cat. Consider 'cmd < file' or 'cmd file'.",
+                    first,
+                    severity=Severity.INFO,
+                )
+
+
+class EchoUnquotedGlobRule(LintRule):
+    """SC2035: leading-dash/glob operands should use ./ or --."""
+
+    code = "SC2035"
+
+    def check(self, ast: Command) -> Iterator[Diagnostic]:
+        for node in walk(ast):
+            if not isinstance(node, SimpleCommand):
+                continue
+            if node.name not in ("rm", "mv", "cp", "chmod", "grep"):
+                continue
+            for word in node.words[1:]:
+                if word.has_glob() and word.raw.startswith("*"):
+                    yield _lint(
+                        self.code,
+                        "Use ./*glob* or -- *glob* so names with dashes "
+                        "won't become options.",
+                        word,
+                        severity=Severity.INFO,
+                    )
+
+
+ALL_RULES: List[LintRule] = [
+    UnquotedAtRule(),
+    DeprecatedTestConnectiveRule(),
+    GrepWcRule(),
+    UselessCatRule(),
+    EchoUnquotedGlobRule(),
+    UnquotedExpansionRule(),
+    RmVariablePathRule(),
+    CdWithoutGuardRule(),
+    BackticksRule(),
+    DollarInSingleQuotesRule(),
+    UnassignedVariableRule(),
+    UnusedVariableRule(),
+    ReadWithoutRRule(),
+    UnquotedCommandSubRule(),
+    AndOrChainRule(),
+]
+
+
+def _all_params(word: Word):
+    for part in word.parts:
+        if isinstance(part, ParamPart):
+            yield part
+            if part.arg is not None:
+                yield from _all_params(part.arg)
+        elif isinstance(part, CmdSubPart):
+            for sub in walk(part.command):
+                if isinstance(sub, SimpleCommand):
+                    for w in sub.words:
+                        yield from _all_params(w)
+                    for a in sub.assignments:
+                        yield from _all_params(a.value)

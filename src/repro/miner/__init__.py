@@ -1,0 +1,28 @@
+"""Documentation mining with instrumented probing (paper §3, Fig. 4)."""
+
+from .compile import AgreementReport, compare_specs, compile_spec, predict
+from .extract import ExtractionError, extract_syntax
+from .generate import SCENARIOS, Invocation, generate_invocations, validate_all
+from .manpages import load_page, page_names, sections
+from .probe import ModelProber, ProbeTrace, SubprocessProber, probe_all
+from .syntax import FlagSpec, OperandSpec, SyntaxSpec
+
+
+def mine_command(name: str, prober=None, max_flags: int = 2):
+    """The full Fig. 4 pipeline for one command: docs -> DSL ->
+    invocations -> probing -> Hoare-triple spec."""
+    syntax = extract_syntax(name)
+    invocations = generate_invocations(syntax, max_flags=max_flags)
+    validate_all(syntax, invocations)
+    traces = probe_all(invocations, prober=prober)
+    return compile_spec(syntax, traces)
+
+
+__all__ = [
+    "mine_command", "extract_syntax", "ExtractionError",
+    "generate_invocations", "validate_all", "Invocation", "SCENARIOS",
+    "probe_all", "ModelProber", "SubprocessProber", "ProbeTrace",
+    "compile_spec", "compare_specs", "predict", "AgreementReport",
+    "SyntaxSpec", "FlagSpec", "OperandSpec",
+    "page_names", "load_page", "sections",
+]

@@ -1,0 +1,363 @@
+"""Trace → specification compilation (Fig. 4, right).
+
+Applies a series of transformation rules to probe traces to produce
+Hoare-triple clauses: group traces by observed behaviour, infer the
+flag guard of each behaviour, derive pre/postconditions from the
+before/after snapshots, and generalise across operand kinds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..specs.ir import (
+    Absent,
+    Clause,
+    CommandSpec,
+    CopiesTo,
+    Creates,
+    Deletes,
+    Exists,
+    PathKind,
+    Pre as Pre_t,
+    Sel,
+)
+from .probe import ProbeTrace
+from .syntax import SyntaxSpec
+
+
+@dataclass(frozen=True)
+class Behaviour:
+    """The observable outcome of one probe, suitable for grouping."""
+
+    scenario: str
+    success: bool
+    deleted: bool
+    created_kind: Optional[str]
+    stderr: bool
+
+
+def _behaviour(trace: ProbeTrace) -> Behaviour:
+    before, after = trace.operand_outcome(0)
+    return Behaviour(
+        scenario=trace.invocation.scenarios[0] if trace.invocation.scenarios else "none",
+        success=(trace.exit_code == 0),
+        deleted=(before is not None and after is None),
+        created_kind=(after if before is None and after is not None else None),
+        stderr=bool(trace.stderr),
+    )
+
+
+def compile_spec(syntax: SyntaxSpec, traces: Sequence[ProbeTrace]) -> CommandSpec:
+    """Compile probe traces into a command specification."""
+    if syntax.operands.min_count >= 2:
+        clauses = _compile_two_operand(traces)
+    elif syntax.operands.kind == "path" and any(t.invocation.scenarios for t in traces):
+        clauses = _compile_unary(traces)
+    else:
+        clauses = _compile_opaque(traces)
+
+    options = {flag.char: flag.takes_arg for flag in syntax.flags.values()}
+    return CommandSpec(
+        name=syntax.name,
+        summary=syntax.summary,
+        options=options,
+        clauses=clauses,
+        min_operands=syntax.operands.min_count,
+        max_operands=syntax.operands.max_count,
+        operands_are_paths=(syntax.operands.kind == "path"),
+    )
+
+
+# -- unary path commands -------------------------------------------------------
+
+
+def _compile_unary(traces: Sequence[ProbeTrace]) -> List[Clause]:
+    universe: Set[FrozenSet[str]] = set()
+    groups: Dict[Behaviour, Set[FrozenSet[str]]] = defaultdict(set)
+    for trace in traces:
+        flagset = frozenset(trace.invocation.flags)
+        universe.add(flagset)
+        groups[_behaviour(trace)].add(flagset)
+
+    all_flags = set().union(*universe) if universe else set()
+    clauses: List[Clause] = []
+    for behaviour, flagsets in sorted(
+        groups.items(), key=lambda kv: (kv[0].scenario, not kv[0].success)
+    ):
+        for requires, forbids in _flag_guards(flagsets, universe, all_flags):
+            clauses.append(_clause_of(behaviour, requires, forbids))
+    return _generalise(clauses)
+
+
+def _flag_guards(
+    flagsets: Set[FrozenSet[str]],
+    universe: Set[FrozenSet[str]],
+    all_flags: Set[str],
+) -> List[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """Infer (requires, forbids) guards covering exactly ``flagsets``."""
+    requires = frozenset.intersection(*flagsets) if flagsets else frozenset()
+    present = set().union(*flagsets) if flagsets else set()
+    forbids = frozenset(all_flags - present)
+    matched = {
+        g for g in universe if requires <= g and not (forbids & g)
+    }
+    if matched == flagsets:
+        return [(requires, forbids)]
+    # inexact: fall back to one guard per flag set (precise but verbose)
+    return [
+        (g, frozenset(all_flags - g))
+        for g in sorted(flagsets, key=sorted)
+    ]
+
+
+def _clause_of(
+    behaviour: Behaviour, requires: FrozenSet[str], forbids: FrozenSet[str]
+) -> Clause:
+    pre: Tuple = ()
+    effects: Tuple = ()
+    if behaviour.scenario == "file":
+        pre = (Exists(Sel.EACH, PathKind.FILE),)
+    elif behaviour.scenario == "dir":
+        pre = (Exists(Sel.EACH, PathKind.DIR),)
+    elif behaviour.scenario == "missing":
+        pre = (Absent(Sel.EACH),)
+    if behaviour.deleted:
+        effects = (Deletes(Sel.EACH, recursive=(behaviour.scenario == "dir")),)
+    elif behaviour.created_kind is not None:
+        kind = PathKind.DIR if behaviour.created_kind == "dir" else PathKind.FILE
+        effects = (Creates(Sel.EACH, kind),)
+    return Clause(
+        pre=pre,
+        effects=effects,
+        exit_code=0 if behaviour.success else 1,
+        requires_flags=requires,
+        forbids_flags=forbids,
+        stderr=behaviour.stderr,
+        note=f"mined: {behaviour.scenario} operand",
+    )
+
+
+def _generalise(clauses: List[Clause]) -> List[Clause]:
+    """Merge FILE/DIR clauses that differ only in operand kind."""
+    result: List[Clause] = []
+    used = set()
+    for idx, clause in enumerate(clauses):
+        if idx in used:
+            continue
+        partner = None
+        for jdx in range(idx + 1, len(clauses)):
+            if jdx in used:
+                continue
+            other = clauses[jdx]
+            if (
+                clause.exit_code == other.exit_code
+                and clause.requires_flags == other.requires_flags
+                and clause.forbids_flags == other.forbids_flags
+                and _kind_of(clause) is not None
+                and _kind_of(other) is not None
+                and _kind_of(clause) != _kind_of(other)
+                and _deletes(clause) == _deletes(other)
+            ):
+                partner = jdx
+                break
+        if partner is not None:
+            used.add(partner)
+            merged_effects = clause.effects
+            if _deletes(clause):
+                recursive = any(
+                    isinstance(e, Deletes) and e.recursive
+                    for e in clause.effects + clauses[partner].effects
+                )
+                merged_effects = (Deletes(Sel.EACH, recursive=recursive),)
+            result.append(
+                Clause(
+                    pre=(Exists(Sel.EACH, PathKind.ANY),),
+                    effects=merged_effects,
+                    exit_code=clause.exit_code,
+                    requires_flags=clause.requires_flags,
+                    forbids_flags=clause.forbids_flags,
+                    stderr=clause.stderr,
+                    note="mined: any extant operand",
+                )
+            )
+        else:
+            result.append(clause)
+    return result
+
+
+def _kind_of(clause: Clause) -> Optional[PathKind]:
+    for pre in clause.pre:
+        if isinstance(pre, Exists):
+            return pre.kind
+    return None
+
+
+def _deletes(clause: Clause) -> bool:
+    return any(isinstance(e, Deletes) for e in clause.effects)
+
+
+# -- two-operand commands ---------------------------------------------------------
+
+
+def _compile_two_operand(traces: Sequence[ProbeTrace]) -> List[Clause]:
+    """Clauses guarded on BOTH operands' states and the flag set."""
+    universe: Set[FrozenSet[str]] = set()
+    # (src_exists, dst_exists, success, src_gone) -> flag sets
+    groups: Dict[Tuple[bool, bool, bool, bool], Set[FrozenSet[str]]] = defaultdict(set)
+    for trace in traces:
+        if len(trace.invocation.scenarios) < 2:
+            continue
+        flagset = frozenset(trace.invocation.flags)
+        universe.add(flagset)
+        src_before, src_after = trace.operand_outcome(0)
+        dst_before, _ = trace.operand_outcome(1)
+        key = (
+            src_before is not None,
+            dst_before is not None,
+            trace.exit_code == 0,
+            src_before is not None and src_after is None,
+        )
+        groups[key].add(flagset)
+
+    all_flags = set().union(*universe) if universe else set()
+    clauses: List[Clause] = []
+    for (src_exists, dst_exists, success, src_gone), flagsets in sorted(
+        groups.items(), key=lambda kv: (not kv[0][2], kv[0])
+    ):
+        pre: Tuple = (
+            Exists(Sel.ALL_BUT_LAST, PathKind.ANY)
+            if src_exists
+            else Absent(Sel.ALL_BUT_LAST),
+            Exists(Sel.LAST, PathKind.ANY) if dst_exists else Absent(Sel.LAST),
+        )
+        effects: Tuple = (CopiesTo(move=src_gone),) if success else ()
+        for requires, forbids in _flag_guards(flagsets, universe, all_flags):
+            clauses.append(
+                Clause(
+                    pre=pre,
+                    effects=effects,
+                    exit_code=0 if success else 1,
+                    requires_flags=requires,
+                    forbids_flags=forbids,
+                    stderr=not success,
+                    note=f"mined: src {'extant' if src_exists else 'missing'}, "
+                    f"dst {'extant' if dst_exists else 'missing'}",
+                )
+            )
+    return clauses
+
+
+# -- commands without path operands ------------------------------------------------
+
+
+def _compile_opaque(traces: Sequence[ProbeTrace]) -> List[Clause]:
+    exit_codes = sorted({t.exit_code for t in traces})
+    return [
+        Clause(pre=(), effects=(), exit_code=code, note="mined: observed exit")
+        for code in exit_codes
+    ]
+
+
+# -- E7 scoring ---------------------------------------------------------------------
+
+
+def predict(
+    spec: CommandSpec,
+    flags: Sequence[str],
+    scenario: str,
+    dst_scenario: Optional[str] = None,
+) -> Optional[Tuple[bool, bool]]:
+    """What a spec predicts for operands in the given states:
+    (success, primary-operand-gone-after).
+
+    ``scenario`` describes the first/each operand; ``dst_scenario`` the
+    last operand of two-operand commands.  Returns None when no clause
+    applies (the spec is silent)."""
+    applicable = spec.applicable_clauses(frozenset(flags))
+    for clause in applicable:
+        if _clause_matches(clause, scenario, dst_scenario):
+            deleted = any(
+                isinstance(e, Deletes) and e.sel in (Sel.EACH, Sel.FIRST, Sel.ALL_BUT_LAST)
+                for e in clause.effects
+            ) or any(
+                isinstance(e, CopiesTo) and e.move for e in clause.effects
+            )
+            return clause.exit_code == 0, deleted
+    return None
+
+
+def _scenario_satisfies(pre: Pre_t, scenario: str) -> bool:
+    if isinstance(pre, Exists):
+        if scenario == "missing":
+            return False
+        if pre.kind is PathKind.FILE and scenario != "file":
+            return False
+        if pre.kind is PathKind.DIR and scenario != "dir":
+            return False
+        return True
+    if isinstance(pre, Absent):
+        return scenario == "missing"
+    return True  # ParentExists etc.: satisfied in the probe sandbox
+
+
+def _clause_matches(
+    clause: Clause, scenario: str, dst_scenario: Optional[str]
+) -> bool:
+    for pre in clause.pre:
+        sel = getattr(pre, "sel", Sel.EACH)
+        if sel is Sel.LAST:
+            if dst_scenario is None:
+                continue  # no destination operand to test against
+            if not _scenario_satisfies(pre, dst_scenario):
+                return False
+        else:
+            if not _scenario_satisfies(pre, scenario):
+                return False
+    return True
+
+
+@dataclass
+class AgreementReport:
+    command: str
+    total: int
+    agree: int
+    disagreements: List[str]
+
+    @property
+    def rate(self) -> float:
+        return self.agree / self.total if self.total else 1.0
+
+
+def compare_specs(
+    mined: CommandSpec,
+    reference: CommandSpec,
+    flag_combos: Sequence[Sequence[str]],
+    scenarios: Sequence[str] = ("file", "dir", "missing"),
+) -> AgreementReport:
+    """E7: agreement between a mined spec and the hand-written corpus
+    spec over the probe matrix (two-operand commands sweep both
+    operands' states)."""
+    two_operand = mined.min_operands >= 2
+    total = agree = 0
+    disagreements = []
+    dst_options: Sequence[Optional[str]] = scenarios if two_operand else (None,)
+    for flags in flag_combos:
+        for scenario in scenarios:
+            for dst in dst_options:
+                lhs = predict(mined, flags, scenario, dst_scenario=dst)
+                rhs = predict(reference, flags, scenario, dst_scenario=dst)
+                if lhs is None or rhs is None:
+                    continue
+                total += 1
+                if lhs == rhs:
+                    agree += 1
+                else:
+                    where = f"on {scenario}" + (f"/{dst}" if dst else "")
+                    disagreements.append(
+                        f"{mined.name} {' '.join(flags) or '(none)'} {where}: "
+                        f"mined={lhs} corpus={rhs}"
+                    )
+    return AgreementReport(mined.name, total, agree, disagreements)

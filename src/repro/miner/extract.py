@@ -1,0 +1,135 @@
+"""Documentation → syntax DSL extraction.
+
+The deterministic stand-in for the paper's tuned LLM (see DESIGN.md
+substitution table): a rule-based reader of SYNOPSIS/OPTIONS sections
+emitting :class:`~repro.miner.syntax.SyntaxSpec` terms.  Exactly like
+the paper's frontend, anything it emits is confined to the guardrail DSL
+— downstream stages (generation, probing, compilation) cannot observe
+any difference in provenance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from .manpages import load_page, sections
+from .syntax import FlagSpec, OperandSpec, SyntaxSpec
+
+
+class ExtractionError(ValueError):
+    """The documentation does not describe a usable invocation syntax."""
+
+
+_FLAG_GROUP = re.compile(r"\[-([A-Za-z0-9]+)\]")
+_FLAG_WITH_ARG = re.compile(r"\[-([A-Za-z0-9])\s+(\w+)\]")
+_OPERAND = re.compile(r"(\[)?(\w+?)(\.\.\.)?(\])?\s*$")
+_OPTION_LINE = re.compile(r"^\s+-([A-Za-z0-9])(?:\s+(\w+))?\s*$|^\s+-([A-Za-z0-9])\s{2,}(\S.*)$")
+
+#: operand names that denote file-system paths
+_PATHY = {"file", "files", "dir", "directory", "path", "source_file",
+          "target_file", "ref_file", "pathname"}
+
+
+def extract_syntax(name: str, page_text: Optional[str] = None) -> SyntaxSpec:
+    """Derive a command's invocation syntax from its documentation."""
+    text = page_text if page_text is not None else load_page(name)
+    parts = sections(text)
+    synopsis = parts.get("SYNOPSIS", "").strip()
+    if not synopsis:
+        raise ExtractionError(f"{name}: documentation has no SYNOPSIS")
+
+    spec = SyntaxSpec(name=name)
+    name_section = parts.get("NAME", "")
+    if "-" in name_section:
+        spec.summary = name_section.split("-", 1)[1].strip()
+
+    first_line = synopsis.splitlines()[0].strip()
+    if not first_line.startswith(name):
+        raise ExtractionError(f"{name}: SYNOPSIS does not start with the command")
+    rest = first_line[len(name):].strip()
+
+    # flags with arguments: [-m mode]
+    for match in _FLAG_WITH_ARG.finditer(rest):
+        char, hint = match.groups()
+        spec.flags[char] = FlagSpec(char, takes_arg=True, arg_hint=hint)
+    rest = _FLAG_WITH_ARG.sub("", rest)
+
+    # grouped boolean flags: [-firRdv]
+    for match in _FLAG_GROUP.finditer(rest):
+        for char in match.group(1):
+            if char not in spec.flags:
+                spec.flags[char] = FlagSpec(char)
+    rest = _FLAG_GROUP.sub("", rest).strip()
+
+    # operands
+    spec.operands = _parse_operands(rest)
+
+    # OPTIONS section: descriptions and takes-arg confirmation
+    options = parts.get("OPTIONS")
+    if options is None:
+        spec.incomplete = True
+    else:
+        _enrich_from_options(spec, options)
+
+    return spec
+
+
+def _parse_operands(rest: str) -> OperandSpec:
+    rest = rest.strip()
+    if not rest:
+        return OperandSpec(min_count=0, max_count=0, kind="none", name="")
+    words = rest.split()
+    if len(words) == 2 and all(w.rstrip(".") for w in words):
+        # e.g. "source_file target_file"
+        kind = "path" if any(w in _PATHY for w in words) else "string"
+        return OperandSpec(min_count=2, max_count=2, kind=kind, name=words[0])
+    token = words[0]
+    optional = token.startswith("[")
+    token = token.strip("[]")
+    variadic = token.endswith("...")
+    token = token.rstrip(".")
+    kind = "path" if token in _PATHY else "string"
+    return OperandSpec(
+        min_count=0 if optional else 1,
+        max_count=None if variadic else 1,
+        kind=kind,
+        name=token or "file",
+    )
+
+
+def _enrich_from_options(spec: SyntaxSpec, options_text: str) -> None:
+    current_flag: Optional[str] = None
+    for line in options_text.splitlines():
+        match = re.match(r"^\s+-([A-Za-z0-9])(\s+(\w+))?\s*$", line)
+        if match:
+            char, _, arg = match.groups()
+            existing = spec.flags.get(char)
+            spec.flags[char] = FlagSpec(
+                char,
+                takes_arg=bool(arg) or (existing.takes_arg if existing else False),
+                arg_hint=arg or (existing.arg_hint if existing else ""),
+                description=existing.description if existing else "",
+            )
+            current_flag = char
+            continue
+        match = re.match(r"^\s+-([A-Za-z0-9])\s{2,}(\S.*)$", line)
+        if match:
+            char, description = match.groups()
+            existing = spec.flags.get(char)
+            spec.flags[char] = FlagSpec(
+                char,
+                takes_arg=existing.takes_arg if existing else False,
+                arg_hint=existing.arg_hint if existing else "",
+                description=description.strip(),
+            )
+            current_flag = char
+            continue
+        if current_flag and line.strip():
+            existing = spec.flags[current_flag]
+            spec.flags[current_flag] = FlagSpec(
+                existing.char,
+                existing.takes_arg,
+                existing.arg_hint,
+                (existing.description + " " + line.strip()).strip(),
+            )

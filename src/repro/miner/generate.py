@@ -1,0 +1,67 @@
+"""Invocation and environment generation (Fig. 4, left → mid).
+
+From a syntax DSL term, generate all valid invocations — sweeping flag
+combinations — paired with the execution environments to probe them in:
+the operand as an extant file, an extant directory (with contents), or a
+missing path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .syntax import SyntaxSpec
+
+#: Operand scenarios: the relevant file-system states of §3 ("including
+#: cases where $p is a file, a directory, or non-existent").
+SCENARIOS = ("file", "dir", "missing")
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One probe configuration."""
+
+    name: str
+    flags: Tuple[str, ...]
+    scenarios: Tuple[str, ...]  # one per operand
+
+    def argv(self, operand_paths: Sequence[str]) -> List[str]:
+        return [self.name, *self.flags, *operand_paths]
+
+    def describe(self) -> str:
+        flag_text = " ".join(self.flags) or "(no flags)"
+        return f"{self.name} {flag_text} on {'/'.join(self.scenarios)}"
+
+
+def generate_invocations(
+    spec: SyntaxSpec,
+    max_flags: int = 2,
+    scenarios: Sequence[str] = SCENARIOS,
+) -> List[Invocation]:
+    """The probe matrix: flag sweeps × operand-state sweeps."""
+    n_operands = spec.operands.min_count
+    if n_operands == 0 and spec.operands.max_count != 0:
+        n_operands = 1  # probe optional operands with one operand present
+    result: List[Invocation] = []
+    for flags in spec.flag_combinations(max_flags=max_flags):
+        if n_operands == 0:
+            result.append(Invocation(spec.name, flags, ()))
+            continue
+        for combo in itertools.product(scenarios, repeat=n_operands):
+            result.append(Invocation(spec.name, flags, combo))
+    return result
+
+
+def validate_all(spec: SyntaxSpec, invocations: Sequence[Invocation]) -> None:
+    """Guardrail re-check: every generated invocation must be legitimate
+    under the DSL term (defence against frontend drift)."""
+    for invocation in invocations:
+        operands = [f"op{i}" for i in range(len(invocation.scenarios))]
+        reason = spec.validate(invocation.argv(operands))
+        if reason is not None:
+            raise ValueError(
+                f"generated an illegitimate invocation "
+                f"{invocation.describe()}: {reason}"
+            )

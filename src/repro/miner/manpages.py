@@ -1,0 +1,43 @@
+"""Access to the bundled man-page corpus.
+
+Stands in for "man pages, markdown files, web pages, etc." (§3): a set
+of roff-free text pages in the classic NAME/SYNOPSIS/OPTIONS layout.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+_PAGES_DIR = os.path.join(os.path.dirname(__file__), "pages")
+
+
+def page_names() -> List[str]:
+    return sorted(
+        name[:-4] for name in os.listdir(_PAGES_DIR) if name.endswith(".txt")
+    )
+
+
+def load_page(name: str) -> str:
+    path = os.path.join(_PAGES_DIR, f"{name}.txt")
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def sections(page: str) -> Dict[str, str]:
+    """Split a page into its uppercase-headed sections."""
+    result: Dict[str, str] = {}
+    current: Optional[str] = None
+    lines: List[str] = []
+    for line in page.splitlines():
+        stripped = line.strip()
+        if stripped and stripped == stripped.upper() and not line.startswith(" ") and stripped.isascii() and all(c.isalpha() or c.isspace() for c in stripped):
+            if current is not None:
+                result[current] = "\n".join(lines).rstrip()
+            current = stripped
+            lines = []
+        else:
+            lines.append(line)
+    if current is not None:
+        result[current] = "\n".join(lines).rstrip()
+    return result

@@ -1,0 +1,377 @@
+"""Instrumented probing (Fig. 4, mid).
+
+Each invocation is executed in a freshly instantiated concrete
+environment, with interposition recording its interactions.  Two probe
+executors are provided:
+
+- :class:`SubprocessProber` — runs the *real* binary in a temporary
+  directory and derives the trace from before/after file-system
+  snapshots (our substitute for system-call tracing; see DESIGN.md);
+- :class:`ModelProber` — a pure-Python executable model of the classic
+  utilities, used where binaries are unavailable and for fast
+  deterministic benchmarking.
+
+Both produce identical :class:`ProbeTrace` records, so the downstream
+spec compiler cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .generate import Invocation
+
+Snapshot = Dict[str, str]  # relpath -> "file" | "dir"
+
+
+@dataclass
+class ProbeTrace:
+    """What one probed execution did."""
+
+    invocation: Invocation
+    exit_code: int
+    before: Snapshot
+    after: Snapshot
+    stdout: str = ""
+    stderr: str = ""
+
+    @property
+    def deleted(self) -> List[str]:
+        return sorted(set(self.before) - set(self.after))
+
+    @property
+    def created(self) -> List[str]:
+        return sorted(set(self.after) - set(self.before))
+
+    def operand_outcome(self, idx: int = 0) -> Tuple[Optional[str], Optional[str]]:
+        """(kind before, kind after) of operand ``opN``."""
+        name = f"op{idx}"
+        return self.before.get(name), self.after.get(name)
+
+
+def _setup_environment(root: str, scenarios: Sequence[str]) -> List[str]:
+    """Materialise operand states; returns operand paths (relative)."""
+    operands = []
+    for idx, scenario in enumerate(scenarios):
+        name = f"op{idx}"
+        path = os.path.join(root, name)
+        if scenario == "file":
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("probe-content\n")
+        elif scenario == "dir":
+            os.mkdir(path)
+            with open(os.path.join(path, "inner.txt"), "w", encoding="utf-8") as handle:
+                handle.write("inner\n")
+        elif scenario == "missing":
+            pass
+        else:
+            raise ValueError(f"unknown scenario {scenario!r}")
+        operands.append(name)
+    return operands
+
+
+def _snapshot(root: str) -> Snapshot:
+    result: Snapshot = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        for dirname in dirnames:
+            rel = os.path.relpath(os.path.join(dirpath, dirname), root)
+            result[rel] = "dir"
+        for filename in filenames:
+            rel = os.path.relpath(os.path.join(dirpath, filename), root)
+            result[rel] = "file"
+    return result
+
+
+class SubprocessProber:
+    """Probe by executing the real utility in a sandbox directory."""
+
+    def __init__(self, timeout: float = 5.0):
+        self.timeout = timeout
+
+    def available(self, name: str) -> bool:
+        return shutil.which(name) is not None
+
+    def probe(self, invocation: Invocation) -> ProbeTrace:
+        with tempfile.TemporaryDirectory(prefix="repro-probe-") as root:
+            operands = _setup_environment(root, invocation.scenarios)
+            before = _snapshot(root)
+            completed = subprocess.run(
+                invocation.argv(operands),
+                cwd=root,
+                stdin=subprocess.DEVNULL,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                timeout=self.timeout,
+                text=True,
+            )
+            after = _snapshot(root)
+            return ProbeTrace(
+                invocation=invocation,
+                exit_code=completed.returncode,
+                before=before,
+                after=after,
+                stdout=completed.stdout,
+                stderr=completed.stderr,
+            )
+
+
+class ModelProber:
+    """Executable Python models of the classic utilities.
+
+    Deliberately written from the POSIX descriptions (not from our spec
+    corpus) so that E7's mined-vs-handwritten comparison stays a real
+    cross-check.
+    """
+
+    def available(self, name: str) -> bool:
+        return name in _MODELS
+
+    def probe(self, invocation: Invocation) -> ProbeTrace:
+        fs: Dict[str, str] = {}
+        operands = []
+        for idx, scenario in enumerate(invocation.scenarios):
+            name = f"op{idx}"
+            if scenario == "file":
+                fs[name] = "file"
+            elif scenario == "dir":
+                fs[name] = "dir"
+                fs[f"{name}/inner.txt"] = "file"
+            operands.append(name)
+        before = dict(fs)
+        model = _MODELS[invocation.name]
+        exit_code, stdout, stderr = model(set(invocation.flags), operands, fs)
+        return ProbeTrace(
+            invocation=invocation,
+            exit_code=exit_code,
+            before=before,
+            after=fs,
+            stdout=stdout,
+            stderr=stderr,
+        )
+
+
+# -- utility models -----------------------------------------------------------
+
+
+def _descendants(fs: Dict[str, str], path: str) -> List[str]:
+    return [p for p in fs if p == path or p.startswith(path + "/")]
+
+
+def _model_rm(flags, operands, fs):
+    recursive = "-r" in flags or "-R" in flags
+    force = "-f" in flags
+    exit_code, stderr = 0, ""
+    for op in operands:
+        kind = fs.get(op)
+        if kind is None:
+            if not force:
+                exit_code, stderr = 1, f"rm: {op}: No such file or directory\n"
+            continue
+        if kind == "dir" and not recursive and "-d" not in flags:
+            exit_code, stderr = 1, f"rm: {op}: is a directory\n"
+            continue
+        if kind == "dir" and "-d" in flags and not recursive:
+            if len(_descendants(fs, op)) > 1:
+                exit_code, stderr = 1, f"rm: {op}: Directory not empty\n"
+                continue
+        for path in _descendants(fs, op):
+            del fs[path]
+    return exit_code, "", stderr
+
+
+def _model_mkdir(flags, operands, fs):
+    parents = "-p" in flags
+    exit_code, stderr = 0, ""
+    for op in operands:
+        if op in fs:
+            if not parents or fs[op] != "dir":
+                exit_code, stderr = 1, f"mkdir: {op}: File exists\n"
+            continue
+        parent = os.path.dirname(op)
+        if parent and parent not in fs:
+            if parents:
+                fs[parent] = "dir"
+            else:
+                exit_code, stderr = 1, f"mkdir: {parent}: No such file or directory\n"
+                continue
+        fs[op] = "dir"
+    return exit_code, "", stderr
+
+
+def _model_rmdir(flags, operands, fs):
+    exit_code, stderr = 0, ""
+    for op in operands:
+        kind = fs.get(op)
+        if kind != "dir":
+            exit_code = 1
+            stderr = f"rmdir: {op}: Not a directory\n" if kind else f"rmdir: {op}: No such file or directory\n"
+            continue
+        if len(_descendants(fs, op)) > 1:
+            exit_code, stderr = 1, f"rmdir: {op}: Directory not empty\n"
+            continue
+        del fs[op]
+    return exit_code, "", stderr
+
+
+def _model_touch(flags, operands, fs):
+    create = "-c" not in flags
+    for op in operands:
+        if op not in fs and create:
+            fs[op] = "file"
+    return 0, "", ""
+
+
+def _model_cp(flags, operands, fs):
+    if len(operands) < 2:
+        return 1, "", "cp: missing operand\n"
+    recursive = "-r" in flags or "-R" in flags
+    *sources, dest = operands
+    exit_code, stderr = 0, ""
+    for src in sources:
+        kind = fs.get(src)
+        if kind is None:
+            exit_code, stderr = 1, f"cp: {src}: No such file or directory\n"
+            continue
+        if kind == "dir" and not recursive:
+            exit_code, stderr = 1, f"cp: {src} is a directory (not copied)\n"
+            continue
+        target = dest
+        if fs.get(dest) == "dir":
+            target = f"{dest}/{os.path.basename(src)}"
+        for path in _descendants(fs, src):
+            fs[target + path[len(src):]] = fs[path]
+    return exit_code, "", stderr
+
+
+def _model_mv(flags, operands, fs):
+    if len(operands) < 2:
+        return 1, "", "mv: missing operand\n"
+    *sources, dest = operands
+    exit_code, stderr = 0, ""
+    for src in sources:
+        kind = fs.get(src)
+        if kind is None:
+            exit_code, stderr = 1, f"mv: {src}: No such file or directory\n"
+            continue
+        target = dest
+        if fs.get(dest) == "dir":
+            target = f"{dest}/{os.path.basename(src)}"
+        for path in sorted(_descendants(fs, src)):
+            fs[target + path[len(src):]] = fs.pop(path)
+    return exit_code, "", stderr
+
+
+def _model_ln(flags, operands, fs):
+    if len(operands) < 2:
+        return 1, "", "ln: missing operand\n"
+    src, dest = operands[0], operands[-1]
+    if src not in fs and "-s" not in flags:
+        return 1, "", f"ln: {src}: No such file or directory\n"
+    if dest in fs:
+        if "-f" not in flags:
+            return 1, "", f"ln: {dest}: File exists\n"
+        for path in _descendants(fs, dest):
+            del fs[path]
+    fs[dest] = "file"
+    return 0, "", ""
+
+
+def _model_cat(flags, operands, fs):
+    out = []
+    for op in operands:
+        kind = fs.get(op)
+        if kind is None:
+            return 1, "".join(out), f"cat: {op}: No such file or directory\n"
+        if kind == "dir":
+            return 1, "".join(out), f"cat: {op}: Is a directory\n"
+        out.append("probe-content\n")
+    return 0, "".join(out), ""
+
+
+def _model_ls(flags, operands, fs):
+    out = []
+    exit_code, stderr = 0, ""
+    for op in operands or ["."]:
+        kind = fs.get(op)
+        if op != "." and kind is None:
+            exit_code, stderr = 1, f"ls: {op}: No such file or directory\n"
+            continue
+        if kind == "dir":
+            entries = sorted(
+                p[len(op) + 1:] for p in fs if p.startswith(op + "/") and "/" not in p[len(op) + 1:]
+            )
+            out.extend(e + "\n" for e in entries)
+        elif kind == "file":
+            out.append(op + "\n")
+    return exit_code, "".join(out), stderr
+
+
+def _model_realpath(flags, operands, fs):
+    out = []
+    exit_code, stderr = 0, ""
+    for op in operands:
+        if op not in fs:
+            exit_code, stderr = 1, f"realpath: {op}: No such file or directory\n"
+            continue
+        out.append(f"/sandbox/{op}\n")
+    return exit_code, "".join(out), stderr
+
+
+def _model_wc(flags, operands, fs):
+    out = []
+    exit_code, stderr = 0, ""
+    for op in operands:
+        kind = fs.get(op)
+        if kind != "file":
+            exit_code, stderr = 1, f"wc: {op}: cannot read\n"
+            continue
+        out.append(f"1 1 14 {op}\n")
+    return exit_code, "".join(out), stderr
+
+
+def _model_head(flags, operands, fs):
+    return _model_cat(flags, operands, fs)
+
+
+def _model_frob(flags, operands, fs):
+    # the under-documented tool: succeeds on files, fails otherwise
+    for op in operands:
+        if fs.get(op) != "file":
+            return 1, "", "frob: bad input\n"
+    return 0, "frobbed\n", ""
+
+
+_MODELS = {
+    "rm": _model_rm,
+    "mkdir": _model_mkdir,
+    "rmdir": _model_rmdir,
+    "touch": _model_touch,
+    "cp": _model_cp,
+    "mv": _model_mv,
+    "ln": _model_ln,
+    "cat": _model_cat,
+    "ls": _model_ls,
+    "realpath": _model_realpath,
+    "wc": _model_wc,
+    "head": _model_head,
+    "frob": _model_frob,
+}
+
+
+def probe_all(
+    invocations: Sequence[Invocation],
+    prober: Optional[object] = None,
+) -> List[ProbeTrace]:
+    """Probe every invocation, preferring the supplied prober."""
+    prober = prober if prober is not None else ModelProber()
+    traces = []
+    for invocation in invocations:
+        if not prober.available(invocation.name):
+            continue
+        traces.append(prober.probe(invocation))
+    return traces

@@ -1,0 +1,109 @@
+"""The guardrail DSL: invocation syntax per the XBD utility conventions.
+
+Fig. 4 (left): the LLM's output is *guardrailed via a domain-specific
+language designed to express only legitimate invocations*.  This module
+is that DSL — whatever front end produced it (LLM or our deterministic
+extractor), only terms of this grammar flow into invocation generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FlagSpec:
+    char: str
+    takes_arg: bool = False
+    arg_hint: str = ""
+    description: str = ""
+
+    def render(self) -> str:
+        if self.takes_arg:
+            return f"-{self.char} {self.arg_hint or 'value'}"
+        return f"-{self.char}"
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """``file...`` → min 1 unbounded paths; ``[file...]`` → min 0; ...
+
+    kind: "path" when the operand names a file-system object.
+    """
+
+    min_count: int = 0
+    max_count: Optional[int] = None
+    kind: str = "path"
+    name: str = "file"
+
+
+@dataclass
+class SyntaxSpec:
+    """A command's legitimate invocation syntax."""
+
+    name: str
+    flags: Dict[str, FlagSpec] = field(default_factory=dict)
+    operands: OperandSpec = field(default_factory=OperandSpec)
+    summary: str = ""
+    #: True when the source documentation was incomplete (no OPTIONS)
+    incomplete: bool = False
+
+    def validate(self, argv: Sequence[str]) -> Optional[str]:
+        """None when argv is a legitimate invocation, else the reason."""
+        if not argv or argv[0] != self.name:
+            return f"expected command {self.name!r}"
+        operand_count = 0
+        idx = 1
+        while idx < len(argv):
+            arg = argv[idx]
+            if arg.startswith("-") and arg != "-" and operand_count == 0:
+                for char in arg[1:]:
+                    spec = self.flags.get(char)
+                    if spec is None:
+                        return f"unknown flag -{char}"
+                    if spec.takes_arg:
+                        idx += 1
+                        if idx >= len(argv):
+                            return f"-{char} requires an argument"
+                        break
+            else:
+                operand_count += 1
+            idx += 1
+        if operand_count < self.operands.min_count:
+            return (
+                f"needs at least {self.operands.min_count} operand(s), "
+                f"got {operand_count}"
+            )
+        if (
+            self.operands.max_count is not None
+            and operand_count > self.operands.max_count
+        ):
+            return f"accepts at most {self.operands.max_count} operand(s)"
+        return None
+
+    def flag_combinations(
+        self, max_flags: int = 2, exclude: Sequence[str] = ("i", "v")
+    ) -> Iterator[Tuple[str, ...]]:
+        """Flag sets to sweep: ∅, singletons, pairs (the paper's
+        ``rm { , -f, -r, -f -r } $p``).  Interactive/cosmetic flags are
+        excluded from probing."""
+        chars = [
+            c
+            for c, spec in sorted(self.flags.items())
+            if c not in exclude and not spec.takes_arg
+        ]
+        for size in range(0, max_flags + 1):
+            for combo in itertools.combinations(chars, size):
+                yield tuple("-" + c for c in combo)
+
+    def render(self) -> str:
+        flag_text = "".join(sorted(self.flags))
+        flag_part = f" [-{flag_text}]" if flag_text else ""
+        operand = self.operands.name
+        if self.operands.max_count is None:
+            operand += "..."
+        if self.operands.min_count == 0:
+            operand = f"[{operand}]"
+        return f"{self.name}{flag_part} {operand}"

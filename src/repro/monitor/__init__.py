@@ -1,0 +1,28 @@
+"""Runtime monitoring and ahead-of-time policy verification (§4-§5)."""
+
+from .plan import MonitorPlan, plan_monitors
+from .runtime import (
+    MonitoredStage,
+    MonitorStats,
+    MonitorViolation,
+    StreamMonitor,
+    monitor_subprocess,
+    run_pipeline,
+)
+from .verify import (
+    Guard,
+    PolicyRule,
+    Verdict,
+    VerifyResult,
+    Violation,
+    parse_policy,
+    verify_script,
+)
+
+__all__ = [
+    "StreamMonitor", "MonitorViolation", "MonitorStats", "MonitoredStage",
+    "MonitorPlan", "plan_monitors",
+    "run_pipeline", "monitor_subprocess",
+    "verify_script", "PolicyRule", "Verdict", "VerifyResult", "Violation",
+    "Guard", "parse_policy",
+]

@@ -1,0 +1,141 @@
+"""Runtime stream monitoring (paper §4 "environment and runtime
+monitoring").
+
+When static inference cannot type a command, a *higher-order monitor
+command* — "similar in spirit to strace and xargs (but more sanely
+named)" — wraps the untyped stage and checks, line by line, that its
+streams conform to the types its neighbours expect.  The cost is
+monitoring overhead and delayed error detection (the gradual-typing
+trade-off); the benefit is that a violation halts the pipeline *before*
+the protected downstream stage consumes a malformed line.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..rtypes import StreamType
+
+
+class MonitorViolation(Exception):
+    """A line failed its stream type at runtime."""
+
+    def __init__(self, line: str, lineno: int, expected: StreamType, where: str = ""):
+        location = f" at {where}" if where else ""
+        super().__init__(
+            f"line {lineno}{location} violates type "
+            f"{expected.describe()}: {line!r}"
+        )
+        self.line = line
+        self.lineno = lineno
+        self.expected = expected
+
+
+@dataclass
+class MonitorStats:
+    lines_checked: int = 0
+    violations: int = 0
+
+
+class StreamMonitor:
+    """Checks each line of a stream against a regular type."""
+
+    def __init__(
+        self,
+        expected: StreamType,
+        where: str = "",
+        on_violation: str = "raise",  # "raise" | "drop" | "count"
+    ):
+        if on_violation not in ("raise", "drop", "count"):
+            raise ValueError(f"bad on_violation mode {on_violation!r}")
+        self.expected = expected
+        self.where = where
+        self.on_violation = on_violation
+        self.stats = MonitorStats()
+
+    def check(self, line: str) -> bool:
+        self.stats.lines_checked += 1
+        ok = self.expected.admits(line)
+        if not ok:
+            self.stats.violations += 1
+            if self.on_violation == "raise":
+                raise MonitorViolation(
+                    line, self.stats.lines_checked, self.expected, self.where
+                )
+        return ok
+
+    def filter(self, lines: Iterable[str]) -> Iterator[str]:
+        """Pass conforming lines through; handle violations per mode."""
+        for line in lines:
+            if self.check(line):
+                yield line
+            # "drop"/"count": the offending line is withheld from the
+            # protected downstream stage
+
+
+Stage = Callable[[Iterable[str]], Iterator[str]]
+
+
+@dataclass
+class MonitoredStage:
+    """A pipeline stage with optional input/output monitors."""
+
+    stage: Stage
+    input_monitor: Optional[StreamMonitor] = None
+    output_monitor: Optional[StreamMonitor] = None
+
+    def __call__(self, lines: Iterable[str]) -> Iterator[str]:
+        if self.input_monitor is not None:
+            lines = self.input_monitor.filter(lines)
+        out = self.stage(lines)
+        if self.output_monitor is not None:
+            out = self.output_monitor.filter(out)
+        return out
+
+
+def run_pipeline(stages: Sequence[Stage], lines: Iterable[str]) -> List[str]:
+    """Drive a (possibly monitored) pipeline of line transformers."""
+    stream: Iterable[str] = lines
+    for stage in stages:
+        stream = stage(stream)
+    return list(stream)
+
+
+def monitor_subprocess(
+    argv: Sequence[str],
+    stdin_lines: Iterable[str],
+    output_type: StreamType,
+    where: str = "",
+) -> List[str]:
+    """Run a real command under output monitoring.
+
+    The monitor reads the command's stdout incrementally and kills the
+    process on the first violating line — execution stops *before* the
+    bad data propagates (the §4 "halt the execution of a script about to
+    perform a dangerous action" behaviour, applied to streams).
+    """
+    proc = subprocess.Popen(
+        list(argv),
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    monitor = StreamMonitor(output_type, where=where or " ".join(argv))
+    collected: List[str] = []
+    try:
+        stdin_data = "".join(line + "\n" for line in stdin_lines)
+        proc.stdin.write(stdin_data)
+        proc.stdin.close()
+        for raw in proc.stdout:
+            line = raw.rstrip("\n")
+            monitor.check(line)
+            collected.append(line)
+    except MonitorViolation:
+        proc.kill()
+        raise
+    finally:
+        proc.stdout.close()
+        proc.wait()
+    return collected

@@ -1,0 +1,198 @@
+"""The `verify` policy tool (paper §5 "Security").
+
+The curl-to-sh scenario::
+
+    curl sw.com/up.sh | verify --no-RW ~/mine | sh
+
+`verify` checks a script against a user policy *ahead of time*: it runs
+the static analysis, classifies every file-system effect against the
+protected paths, and returns one of three verdicts:
+
+- ``ALLOW`` — no effect can touch a protected path;
+- ``REJECT`` — some effect definitely touches a protected path;
+- ``NEEDS_GUARD`` — a symbolic effect *may* touch a protected path;
+  `verify` emits runtime guards (monitor insertions) that close the gap.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional, Sequence
+
+from ..checkers import default_checkers
+from ..fs import FsOp
+from ..symex import Engine
+
+
+class Verdict(Enum):
+    ALLOW = auto()
+    REJECT = auto()
+    NEEDS_GUARD = auto()
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """Protect ``path`` against reads and/or writes (writes include
+    creation and deletion)."""
+
+    path: str
+    no_read: bool = False
+    no_write: bool = True
+
+    def __str__(self) -> str:
+        mode = ("R" if self.no_read else "") + ("W" if self.no_write else "")
+        return f"--no-{mode} {self.path}"
+
+
+@dataclass
+class Violation:
+    rule: PolicyRule
+    op: str
+    path: str
+    definite: bool  # True: concrete path under the protected tree
+
+    def __str__(self) -> str:
+        kind = "definite" if self.definite else "possible"
+        return f"{kind} {self.op} of {self.path} (protected by {self.rule})"
+
+
+@dataclass
+class Guard:
+    """A runtime guard generated for a possible violation."""
+
+    description: str
+
+    def __str__(self) -> str:
+        return self.description
+
+
+@dataclass
+class VerifyResult:
+    verdict: Verdict
+    violations: List[Violation] = field(default_factory=list)
+    guards: List[Guard] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.verdict.name}"]
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        for guard in self.guards:
+            lines.append(f"  guard: {guard}")
+        return "\n".join(lines)
+
+
+_WRITE_OPS = {FsOp.WRITE, FsOp.CREATE, FsOp.DELETE}
+_READ_OPS = {FsOp.READ, FsOp.LIST, FsOp.STAT}
+
+_SYM_SEGMENT = re.compile(r"<v-?[0-9]+>")
+
+
+def expand_policy_path(path: str, home: str = "/home/user") -> str:
+    if path == "~" or path.startswith("~/"):
+        return home + path[1:]
+    return path
+
+
+def verify_script(
+    source: str,
+    rules: Sequence[PolicyRule],
+    n_args: int = 0,
+    home: str = "/home/user",
+) -> VerifyResult:
+    """Statically verify a script against a policy."""
+    engine = Engine(checkers=default_checkers())
+    result = engine.run_script(source, n_args=n_args)
+
+    violations: List[Violation] = []
+    seen = set()
+    for state in result.states:
+        for event in state.fs.log:
+            for rule in rules:
+                relevant = (rule.no_write and event.op in _WRITE_OPS) or (
+                    rule.no_read and event.op in _READ_OPS
+                )
+                if not relevant:
+                    continue
+                classification = _classify(
+                    event.path,
+                    expand_policy_path(rule.path, home),
+                    destructive=(event.op is FsOp.DELETE),
+                )
+                if classification is None:
+                    continue
+                key = (rule, event.op.name, event.path, classification)
+                if key in seen:
+                    continue
+                seen.add(key)
+                violations.append(
+                    Violation(
+                        rule=rule,
+                        op=event.op.name.lower(),
+                        path=event.path,
+                        definite=(classification == "definite"),
+                    )
+                )
+
+    if not violations:
+        return VerifyResult(Verdict.ALLOW)
+    if any(v.definite for v in violations):
+        return VerifyResult(Verdict.REJECT, violations)
+
+    guards = [
+        Guard(
+            f"interpose on {violation.op} targeting "
+            f"{violation.path}: abort if the resolved path is under "
+            f"{expand_policy_path(violation.rule.path, home)}"
+        )
+        for violation in violations
+    ]
+    return VerifyResult(Verdict.NEEDS_GUARD, violations, guards)
+
+
+def _classify(
+    event_path: str, protected: str, destructive: bool = False
+) -> Optional[str]:
+    """None (cannot touch) | "definite" | "possible"."""
+    protected = protected.rstrip("/") or "/"
+    if _SYM_SEGMENT.search(event_path):
+        # a symbolic segment may resolve anywhere, including under the
+        # protected tree — unless a concrete prefix already diverges
+        concrete_prefix = event_path.split("<", 1)[0].rstrip("/")
+        if concrete_prefix and concrete_prefix.startswith("/"):
+            if not (
+                protected.startswith(concrete_prefix)
+                or concrete_prefix.startswith(protected)
+            ):
+                return None
+        return "possible"
+    if event_path == protected or event_path.startswith(protected + "/"):
+        return "definite"
+    if destructive and protected.startswith(event_path.rstrip("/") + "/"):
+        # deleting an ancestor destroys the protected tree too
+        return "definite"
+    return None
+
+
+def parse_policy(args: Sequence[str]) -> List[PolicyRule]:
+    """Parse `verify`-style CLI arguments: --no-RW P, --no-W P, --no-R P."""
+    rules: List[PolicyRule] = []
+    idx = 0
+    while idx < len(args):
+        arg = args[idx]
+        match = re.fullmatch(r"--no-([RW]{1,2})", arg)
+        if not match:
+            raise ValueError(f"unknown policy argument {arg!r}")
+        if idx + 1 >= len(args):
+            raise ValueError(f"{arg} requires a path")
+        modes = match.group(1)
+        rules.append(
+            PolicyRule(
+                path=args[idx + 1],
+                no_read="R" in modes,
+                no_write="W" in modes,
+            )
+        )
+        idx += 2
+    return rules

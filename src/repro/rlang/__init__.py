@@ -1,0 +1,28 @@
+"""Regular-language engine.
+
+The formalism the paper picks for string-content constraints (§3):
+regular expressions "found pervasively in the Unix environment", backed
+here by a full automaton stack — parsing, Thompson NFAs, subset-construction
+DFAs with alphabet compression, Hopcroft minimisation, and the boolean
+algebra (intersection, union, complement, containment, emptiness) that
+the stream-type reasoning relies on.
+"""
+
+from .builder import Regex
+from .charclass import CharSet, partition
+from .dfa import DFA, determinise, minimise
+from .nfa import NFA, build_nfa
+from .syntax import RegexSyntaxError, parse
+
+__all__ = [
+    "Regex",
+    "CharSet",
+    "partition",
+    "DFA",
+    "determinise",
+    "minimise",
+    "NFA",
+    "build_nfa",
+    "RegexSyntaxError",
+    "parse",
+]

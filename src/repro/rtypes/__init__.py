@@ -1,0 +1,49 @@
+"""Regular types for stream contents (paper §3-§4)."""
+
+from .infer import (
+    PipelineTypes,
+    StageIssue,
+    StageIssueKind,
+    check_pipeline,
+)
+from .library import (
+    GENERAL_NUMERIC,
+    PRODUCES_ON_EMPTY,
+    grep_line_language,
+    named_type,
+    named_type_names,
+    register_named_type,
+    signature_for,
+    type_of,
+)
+from .signatures import (
+    ConcatT,
+    Concrete,
+    Filtered,
+    Mapped,
+    Signature,
+    TypeError_,
+    TypeVarT,
+    Var,
+    apply_signature,
+    filter_sig,
+    identity,
+    prefix_sig,
+    producer,
+    simple,
+    suffix_sig,
+)
+from .types import StreamType
+
+__all__ = [
+    "StreamType", "Signature", "TypeVarT", "TypeError_", "apply_signature",
+    "simple", "identity", "filter_sig", "prefix_sig", "suffix_sig", "producer",
+    "Concrete", "Var", "ConcatT", "Filtered", "Mapped",
+    "check_pipeline", "PipelineTypes", "StageIssue", "StageIssueKind",
+    "named_type", "named_type_names", "register_named_type", "type_of",
+    "signature_for", "grep_line_language", "GENERAL_NUMERIC", "PRODUCES_ON_EMPTY",
+]
+
+from .dataflow import DataflowGraph, FixpointResult, Stage, ring_invariant  # noqa: E402
+
+__all__ += ["DataflowGraph", "FixpointResult", "Stage", "ring_invariant"]

@@ -1,0 +1,42 @@
+"""POSIX shell front end: lexer, structured words, AST, parser."""
+
+from .ast import (
+    AndOr,
+    ArithPart,
+    Assignment,
+    Background,
+    BraceGroup,
+    Case,
+    CaseItem,
+    CmdSubPart,
+    Command,
+    ElifClause,
+    For,
+    FunctionDef,
+    GlobPart,
+    If,
+    LiteralPart,
+    ParamPart,
+    Part,
+    Pipeline,
+    Redirect,
+    Sequence,
+    SimpleCommand,
+    Subshell,
+    TildePart,
+    While,
+    Word,
+    walk,
+)
+from .lexer import Lexer, ShellSyntaxError, tokenize
+from .parser import Parser, parse
+from .tokens import Position, Token, TokenKind
+
+__all__ = [
+    "parse", "tokenize", "walk", "Parser", "Lexer", "ShellSyntaxError",
+    "Position", "Token", "TokenKind", "Command", "SimpleCommand", "Pipeline",
+    "AndOr", "Sequence", "Background", "Subshell", "BraceGroup", "If",
+    "ElifClause", "While", "For", "Case", "CaseItem", "FunctionDef",
+    "Redirect", "Assignment", "Word", "Part", "LiteralPart", "ParamPart",
+    "CmdSubPart", "ArithPart", "GlobPart", "TildePart",
+]

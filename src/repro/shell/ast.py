@@ -1,0 +1,397 @@
+"""Abstract syntax for POSIX shell programs.
+
+Words keep their internal structure (quoting, parameter expansions,
+command substitutions, globs) because the analysis reasons about
+expansion semantically — e.g. Fig. 1's ``"${0%/*}"`` must be visible as a
+suffix-strip operation on ``$0``, not as an opaque string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .tokens import Position
+
+# ---------------------------------------------------------------------------
+# Word structure
+# ---------------------------------------------------------------------------
+
+
+class Part:
+    """Base class for word parts."""
+
+    __slots__ = ()
+
+
+@dataclass
+class LiteralPart(Part):
+    """Literal text; ``quoted`` marks text under quotes or backslashes
+    (immune to field splitting and pathname expansion)."""
+
+    text: str
+    quoted: bool = False
+
+
+@dataclass
+class ParamPart(Part):
+    """Parameter expansion ``$name`` / ``${name}`` / ``${name<op>word}``.
+
+    ``op`` is one of ``:- - := = :? ? :+ + % %% # ##`` or ``len`` for
+    ``${#name}``; ``arg`` is the operand word (None for plain expansion).
+    ``quoted`` is True inside double quotes (no field splitting).
+    """
+
+    name: str
+    op: Optional[str] = None
+    arg: Optional["Word"] = None
+    quoted: bool = False
+
+
+@dataclass
+class CmdSubPart(Part):
+    """Command substitution ``$(...)`` or `` `...` ``."""
+
+    command: "Command"
+    source: str = ""
+    quoted: bool = False
+
+
+@dataclass
+class ArithPart(Part):
+    """Arithmetic expansion ``$((expr))`` (expression kept as text)."""
+
+    expr: str
+    quoted: bool = False
+
+
+@dataclass
+class GlobPart(Part):
+    """An unquoted pathname-expansion metacharacter (``*`` or ``?``)."""
+
+    char: str
+
+
+@dataclass
+class TildePart(Part):
+    """A leading unquoted ``~`` or ``~user``."""
+
+    user: str = ""
+
+
+@dataclass
+class Word:
+    parts: List[Part] = field(default_factory=list)
+    raw: str = ""
+    pos: Position = field(default_factory=Position)
+
+    def literal_text(self) -> Optional[str]:
+        """The word's static string value, or None if any part expands
+        dynamically."""
+        chunks = []
+        for part in self.parts:
+            if isinstance(part, LiteralPart):
+                chunks.append(part.text)
+            elif isinstance(part, GlobPart):
+                chunks.append(part.char)
+            else:
+                return None
+        return "".join(chunks)
+
+    def is_fully_quoted(self) -> bool:
+        return all(
+            (isinstance(p, LiteralPart) and p.quoted)
+            or (isinstance(p, (ParamPart, CmdSubPart, ArithPart)) and p.quoted)
+            for p in self.parts
+        )
+
+    def has_glob(self) -> bool:
+        return any(isinstance(p, GlobPart) for p in self.parts)
+
+    def expansions(self) -> List[Part]:
+        return [p for p in self.parts if isinstance(p, (ParamPart, CmdSubPart, ArithPart))]
+
+    def __repr__(self) -> str:
+        return f"Word({self.raw!r})"
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+class Command:
+    """Base class for command AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Redirect:
+    op: str  # one of < > >> << <<- <& >& <> >|
+    target: Word
+    fd: Optional[int] = None  # explicit IO_NUMBER if present
+    heredoc_body: Optional[str] = None
+    heredoc_quoted: bool = False
+
+
+@dataclass
+class Assignment:
+    name: str
+    value: Word
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class SimpleCommand(Command):
+    words: List[Word] = field(default_factory=list)
+    assignments: List[Assignment] = field(default_factory=list)
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+    @property
+    def name(self) -> Optional[str]:
+        """Static command name, when the first word is literal."""
+        if self.words:
+            return self.words[0].literal_text()
+        return None
+
+
+@dataclass
+class Pipeline(Command):
+    """``a | b | c`` with optional leading ``!``."""
+
+    commands: List[Command]
+    negated: bool = False
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class AndOr(Command):
+    """``left && right`` or ``left || right`` (left associative)."""
+
+    left: Command
+    op: str  # "&&" or "||"
+    right: Command
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class Sequence(Command):
+    """Commands separated by ``;`` or newline."""
+
+    commands: List[Command]
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class Background(Command):
+    """``cmd &``"""
+
+    command: Command
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class Subshell(Command):
+    body: Command
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class BraceGroup(Command):
+    body: Command
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class If(Command):
+    cond: Command
+    then: Command
+    elifs: List["ElifClause"] = field(default_factory=list)
+    else_: Optional[Command] = None
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class ElifClause:
+    cond: Command
+    then: Command
+
+
+@dataclass
+class While(Command):
+    cond: Command
+    body: Command
+    until: bool = False  # True for `until` loops
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class For(Command):
+    var: str
+    words: Optional[List[Word]]  # None means implicit `in "$@"`
+    body: Command
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class CaseItem:
+    patterns: List[Word]
+    body: Optional[Command]
+
+
+@dataclass
+class Case(Command):
+    subject: Word
+    items: List[CaseItem] = field(default_factory=list)
+    redirects: List[Redirect] = field(default_factory=list)
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass
+class FunctionDef(Command):
+    name: str
+    body: Command
+    pos: Position = field(default_factory=Position)
+
+
+def walk(node: Union[Command, None]):
+    """Yield every Command node in the subtree rooted at ``node``
+    (pre-order), descending into command substitutions inside words."""
+    if node is None:
+        return
+    yield node
+    children: List[Optional[Command]] = []
+    words: List[Word] = []
+    if isinstance(node, SimpleCommand):
+        words.extend(node.words)
+        words.extend(a.value for a in node.assignments)
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, Pipeline):
+        children.extend(node.commands)
+    elif isinstance(node, AndOr):
+        children.extend([node.left, node.right])
+    elif isinstance(node, Sequence):
+        children.extend(node.commands)
+    elif isinstance(node, Background):
+        children.append(node.command)
+    elif isinstance(node, (Subshell, BraceGroup)):
+        children.append(node.body)
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, If):
+        children.extend([node.cond, node.then])
+        for clause in node.elifs:
+            children.extend([clause.cond, clause.then])
+        children.append(node.else_)
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, While):
+        children.extend([node.cond, node.body])
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, For):
+        children.append(node.body)
+        if node.words:
+            words.extend(node.words)
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, Case):
+        words.append(node.subject)
+        for item in node.items:
+            words.extend(item.patterns)
+            children.append(item.body)
+        words.extend(r.target for r in node.redirects)
+    elif isinstance(node, FunctionDef):
+        children.append(node.body)
+    for child in children:
+        yield from walk(child)
+    for word in words:
+        yield from _walk_word(word)
+
+
+def _walk_word(word: Word):
+    for part in word.parts:
+        if isinstance(part, CmdSubPart):
+            yield from walk(part.command)
+        elif isinstance(part, ParamPart) and part.arg is not None:
+            yield from _walk_word(part.arg)
+
+
+def structure(node):
+    """A position-free structural digest of an AST (or word/part), for
+    equality in round-trip tests."""
+    if node is None:
+        return None
+    if isinstance(node, Word):
+        return ("word", tuple(structure(p) for p in node.parts))
+    if isinstance(node, LiteralPart):
+        return ("lit", node.text, node.quoted)
+    if isinstance(node, ParamPart):
+        return ("param", node.name, node.op, structure(node.arg), node.quoted)
+    if isinstance(node, CmdSubPart):
+        return ("cmdsub", structure(node.command), node.quoted)
+    if isinstance(node, ArithPart):
+        return ("arith", node.expr, node.quoted)
+    if isinstance(node, GlobPart):
+        return ("glob", node.char)
+    if isinstance(node, TildePart):
+        return ("tilde", node.user)
+    if isinstance(node, Redirect):
+        return ("redirect", node.op, node.fd, structure(node.target), node.heredoc_body)
+    if isinstance(node, Assignment):
+        return ("assign", node.name, structure(node.value))
+    if isinstance(node, SimpleCommand):
+        return (
+            "simple",
+            tuple(structure(w) for w in node.words),
+            tuple(structure(a) for a in node.assignments),
+            tuple(structure(r) for r in node.redirects),
+        )
+    if isinstance(node, Pipeline):
+        return ("pipe", node.negated, tuple(structure(c) for c in node.commands))
+    if isinstance(node, AndOr):
+        return ("andor", node.op, structure(node.left), structure(node.right))
+    if isinstance(node, Sequence):
+        return ("seq", tuple(structure(c) for c in node.commands))
+    if isinstance(node, Background):
+        return ("bg", structure(node.command))
+    if isinstance(node, Subshell):
+        return ("subshell", structure(node.body), tuple(structure(r) for r in node.redirects))
+    if isinstance(node, BraceGroup):
+        return ("brace", structure(node.body), tuple(structure(r) for r in node.redirects))
+    if isinstance(node, If):
+        return (
+            "if",
+            structure(node.cond),
+            structure(node.then),
+            tuple((structure(c.cond), structure(c.then)) for c in node.elifs),
+            structure(node.else_),
+            tuple(structure(r) for r in node.redirects),
+        )
+    if isinstance(node, While):
+        return ("while", node.until, structure(node.cond), structure(node.body),
+                tuple(structure(r) for r in node.redirects))
+    if isinstance(node, For):
+        return (
+            "for",
+            node.var,
+            tuple(structure(w) for w in node.words) if node.words is not None else None,
+            structure(node.body),
+            tuple(structure(r) for r in node.redirects),
+        )
+    if isinstance(node, Case):
+        return (
+            "case",
+            structure(node.subject),
+            tuple(
+                (tuple(structure(p) for p in item.patterns), structure(item.body))
+                for item in node.items
+            ),
+            tuple(structure(r) for r in node.redirects),
+        )
+    if isinstance(node, FunctionDef):
+        return ("func", node.name, structure(node.body))
+    raise TypeError(f"cannot digest {type(node).__name__}")

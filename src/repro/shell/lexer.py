@@ -1,0 +1,345 @@
+"""POSIX shell lexer.
+
+Implements the token recognition algorithm of POSIX XCU §2.3: blanks
+separate tokens, operators are matched longest-first, and words are
+accumulated with full awareness of quoting (``'``, ``"``, ``\\``) and
+dollar/backquote expansions so that metacharacters inside them do not
+terminate the word.  Word tokens carry their raw source text; structural
+interpretation of quotes and expansions happens in :mod:`repro.shell.words`.
+
+Heredocs are collected by the lexer (they are a line-level phenomenon) and
+attached to the ``<<``/``<<-`` operator token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .tokens import OPERATORS, Position, Token, TokenKind
+
+
+class ShellSyntaxError(ValueError):
+    """Raised on malformed shell input."""
+
+    def __init__(self, message: str, pos: Position):
+        super().__init__(f"{message} at {pos}")
+        self.pos = pos
+
+
+_BLANK = " \t"
+_METACHARS = set(" \t\n|&;<>()")
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        #: Heredoc operators on the current line awaiting their bodies,
+        #: as (token, delimiter, strip_tabs) triples.
+        self._pending_heredocs: List[Tuple[Token, str, bool]] = []
+
+    # -- low-level cursor ----------------------------------------------------
+
+    def _position(self) -> Position:
+        return Position(self.line, self.col, self.pos)
+
+    def _peek(self, ahead: int = 0) -> Optional[str]:
+        idx = self.pos + ahead
+        if idx < len(self.source):
+            return self.source[idx]
+        return None
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self.source[self.pos : self.pos + count]
+        for char in taken:
+            if char == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return taken
+
+    def _error(self, message: str) -> ShellSyntaxError:
+        return ShellSyntaxError(message, self._position())
+
+    # -- main loop ------------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        result: List[Token] = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    def next_token(self) -> Token:
+        self._skip_blanks_and_comments()
+        start = self._position()
+        char = self._peek()
+
+        if char is None:
+            if self._pending_heredocs:
+                raise self._error("unterminated heredoc")
+            return Token(TokenKind.EOF, "", start)
+
+        if char == "\n":
+            self._advance()
+            self._collect_heredocs()
+            return Token(TokenKind.NEWLINE, "\n", start)
+
+        # IO_NUMBER: digits immediately followed by < or >
+        if char.isdigit():
+            idx = 0
+            while (c := self._peek(idx)) is not None and c.isdigit():
+                idx += 1
+            if self._peek(idx) in ("<", ">"):
+                digits = self._advance(idx)
+                return Token(TokenKind.IO_NUMBER, digits, start)
+
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                token = Token(TokenKind.OPERATOR, op, start)
+                if op in ("<<", "<<-"):
+                    self._register_heredoc(token, strip_tabs=(op == "<<-"))
+                return token
+
+        return self._lex_word(start)
+
+    def _skip_blanks_and_comments(self) -> None:
+        while True:
+            char = self._peek()
+            if char is None:
+                return
+            if char in _BLANK:
+                self._advance()
+            elif char == "\\" and self._peek(1) == "\n":
+                self._advance(2)  # line continuation
+            elif char == "#":
+                while self._peek() is not None and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # -- words ---------------------------------------------------------------
+
+    def _lex_word(self, start: Position) -> Token:
+        begin = self.pos
+        while True:
+            char = self._peek()
+            if char is None or char in _METACHARS:
+                break
+            if char == "\\":
+                if self._peek(1) == "\n":
+                    self._advance(2)
+                    continue
+                self._advance(2 if self._peek(1) is not None else 1)
+                continue
+            if char == "'":
+                self._lex_single_quote()
+                continue
+            if char == '"':
+                self._lex_double_quote()
+                continue
+            if char == "$":
+                self._lex_dollar()
+                continue
+            if char == "`":
+                self._lex_backquote()
+                continue
+            self._advance()
+        raw = self.source[begin : self.pos]
+        if not raw:
+            raise self._error(f"unexpected character {char!r}")
+        return Token(TokenKind.WORD, raw, start, raw=raw)
+
+    def _lex_single_quote(self) -> None:
+        self._advance()  # opening '
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated single quote")
+            self._advance()
+            if char == "'":
+                return
+
+    def _lex_double_quote(self) -> None:
+        self._advance()  # opening "
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated double quote")
+            if char == '"':
+                self._advance()
+                return
+            if char == "\\" and self._peek(1) is not None:
+                self._advance(2)
+                continue
+            if char == "$":
+                self._lex_dollar()
+                continue
+            if char == "`":
+                self._lex_backquote()
+                continue
+            self._advance()
+
+    def _lex_dollar(self) -> None:
+        self._advance()  # "$"
+        char = self._peek()
+        if char == "{":
+            self._lex_braced_param()
+        elif char == "(":
+            if self._peek(1) == "(":
+                self._lex_arith()
+            else:
+                self._lex_command_sub()
+        # else: simple $var or bare $ — consumed by the word scanner
+
+    def _lex_braced_param(self) -> None:
+        self._advance()  # "{"
+        depth = 1
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated ${")
+            if char == "\\" and self._peek(1) is not None:
+                self._advance(2)
+                continue
+            if char == "'":
+                self._lex_single_quote()
+                continue
+            if char == '"':
+                self._lex_double_quote()
+                continue
+            if char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+            self._advance()
+
+    def _lex_command_sub(self) -> None:
+        self._advance()  # "("
+        depth = 1
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated $(")
+            if char == "\\" and self._peek(1) is not None:
+                self._advance(2)
+                continue
+            if char == "'":
+                self._lex_single_quote()
+                continue
+            if char == '"':
+                self._lex_double_quote()
+                continue
+            if char == "`":
+                self._lex_backquote()
+                continue
+            if char == "#":
+                # comment inside command substitution
+                while self._peek() is not None and self._peek() != "\n":
+                    self._advance()
+                continue
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            self._advance()
+
+    def _lex_arith(self) -> None:
+        self._advance(2)  # "(("
+        depth = 2
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated $((")
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            self._advance()
+
+    def _lex_backquote(self) -> None:
+        self._advance()  # "`"
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated backquote")
+            if char == "\\" and self._peek(1) is not None:
+                self._advance(2)
+                continue
+            self._advance()
+            if char == "`":
+                return
+
+    # -- heredocs --------------------------------------------------------------
+
+    def _register_heredoc(self, token: Token, strip_tabs: bool) -> None:
+        # The delimiter word follows the operator; lex it here so the body
+        # collection (at next newline) knows what to look for.
+        self._skip_blanks_and_comments()
+        start = self._position()
+        delim_token = self._lex_word(start)
+        delimiter, quoted = _strip_quotes(delim_token.text)
+        token.heredoc_quoted = quoted
+        self._pending_heredocs.append((token, delimiter, strip_tabs))
+        # Stash the delimiter word on the operator token; the parser uses it
+        # as the redirect target.
+        token.raw = delim_token.text
+
+    def _collect_heredocs(self) -> None:
+        for token, delimiter, strip_tabs in self._pending_heredocs:
+            lines: List[str] = []
+            while True:
+                if self.pos >= len(self.source):
+                    raise self._error(f"heredoc delimiter {delimiter!r} not found")
+                end = self.source.find("\n", self.pos)
+                if end == -1:
+                    end = len(self.source)
+                line = self.source[self.pos : end]
+                self._advance(end - self.pos)
+                if self.pos < len(self.source):
+                    self._advance()  # the newline
+                check = line.lstrip("\t") if strip_tabs else line
+                if check == delimiter:
+                    break
+                lines.append(line.lstrip("\t") if strip_tabs else line)
+            token.heredoc_body = "".join(line + "\n" for line in lines)
+        self._pending_heredocs = []
+
+
+def _strip_quotes(text: str) -> Tuple[str, bool]:
+    """Remove quoting from a heredoc delimiter; report whether any quoting
+    was present (quoted delimiters suppress expansion of the body)."""
+    result = []
+    quoted = False
+    idx = 0
+    while idx < len(text):
+        char = text[idx]
+        if char == "\\" and idx + 1 < len(text):
+            result.append(text[idx + 1])
+            quoted = True
+            idx += 2
+        elif char == "'":
+            end = text.index("'", idx + 1)
+            result.append(text[idx + 1 : end])
+            quoted = True
+            idx = end + 1
+        elif char == '"':
+            end = text.index('"', idx + 1)
+            result.append(text[idx + 1 : end])
+            quoted = True
+            idx = end + 1
+        else:
+            result.append(char)
+            idx += 1
+    return "".join(result), quoted
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise ``source`` into a list ending with an EOF token."""
+    return Lexer(source).tokens()

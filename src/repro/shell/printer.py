@@ -1,0 +1,109 @@
+"""AST → shell source rendering.
+
+Used by the fix-synthesis machinery and by round-trip testing: for every
+AST, ``parse(render(ast))`` must produce a structurally equal AST.
+Words are rendered from their *raw* source slice, which preserves the
+author's quoting exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    AndOr,
+    Background,
+    BraceGroup,
+    Case,
+    Command,
+    For,
+    FunctionDef,
+    If,
+    Pipeline,
+    Redirect,
+    Sequence,
+    SimpleCommand,
+    Subshell,
+    While,
+)
+
+
+def render(node: Command) -> str:
+    """Render a command AST back to shell source."""
+    return _render(node)
+
+
+def _render(node: Command) -> str:
+    if isinstance(node, SimpleCommand):
+        return _render_simple(node)
+    if isinstance(node, Pipeline):
+        body = " | ".join(_render(c) for c in node.commands)
+        return ("! " + body) if node.negated else body
+    if isinstance(node, AndOr):
+        return f"{_render(node.left)} {node.op} {_render(node.right)}"
+    if isinstance(node, Sequence):
+        return "; ".join(_render(c) for c in node.commands)
+    if isinstance(node, Background):
+        return f"{_render(node.command)} &"
+    if isinstance(node, Subshell):
+        return f"({_render(node.body)})" + _render_redirects(node.redirects)
+    if isinstance(node, BraceGroup):
+        return "{ " + _render(node.body) + "; }" + _render_redirects(node.redirects)
+    if isinstance(node, If):
+        parts = [f"if {_render(node.cond)}; then {_render(node.then)}"]
+        for clause in node.elifs:
+            parts.append(f"; elif {_render(clause.cond)}; then {_render(clause.then)}")
+        if node.else_ is not None:
+            parts.append(f"; else {_render(node.else_)}")
+        parts.append("; fi")
+        return "".join(parts) + _render_redirects(node.redirects)
+    if isinstance(node, While):
+        keyword = "until" if node.until else "while"
+        return (
+            f"{keyword} {_render(node.cond)}; do {_render(node.body)}; done"
+            + _render_redirects(node.redirects)
+        )
+    if isinstance(node, For):
+        if node.words is None:
+            head = f"for {node.var}"
+        else:
+            items = " ".join(w.raw for w in node.words)
+            head = f"for {node.var} in {items}" if items else f"for {node.var} in"
+        return f"{head}; do {_render(node.body)}; done" + _render_redirects(
+            node.redirects
+        )
+    if isinstance(node, Case):
+        arms = []
+        for item in node.items:
+            patterns = " | ".join(w.raw for w in item.patterns)
+            body = _render(item.body) if item.body is not None else ""
+            arms.append(f"{patterns}) {body} ;;")
+        return (
+            f"case {node.subject.raw} in " + " ".join(arms) + " esac"
+            + _render_redirects(node.redirects)
+        )
+    if isinstance(node, FunctionDef):
+        return f"{node.name}() {_render(node.body)}"
+    raise TypeError(f"cannot render {type(node).__name__}")
+
+
+def _render_simple(node: SimpleCommand) -> str:
+    parts: List[str] = []
+    for assignment in node.assignments:
+        parts.append(f"{assignment.name}={assignment.value.raw}")
+    parts.extend(word.raw for word in node.words)
+    rendered = " ".join(parts)
+    return rendered + _render_redirects(node.redirects)
+
+
+def _render_redirects(redirects: List[Redirect]) -> str:
+    chunks = []
+    for redirect in redirects:
+        fd = str(redirect.fd) if redirect.fd is not None else ""
+        if redirect.op in ("<<", "<<-"):
+            # heredocs cannot be rendered inline; emit a quoted echo-pipe
+            # equivalent is out of scope — keep the operator + delimiter
+            chunks.append(f" {fd}{redirect.op}{redirect.target.raw}")
+        else:
+            chunks.append(f" {fd}{redirect.op}{redirect.target.raw}")
+    return "".join(chunks)

@@ -1,0 +1,94 @@
+"""Token definitions for the POSIX shell lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+
+class TokenKind(Enum):
+    WORD = auto()
+    OPERATOR = auto()
+    IO_NUMBER = auto()
+    NEWLINE = auto()
+    EOF = auto()
+
+
+#: Multi-character operators, longest first (POSIX token recognition rule 2/3).
+OPERATORS = [
+    "<<-",
+    "<<",
+    ">>",
+    "<&",
+    ">&",
+    "<>",
+    ">|",
+    "&&",
+    "||",
+    ";;",
+    "|",
+    "&",
+    ";",
+    "<",
+    ">",
+    "(",
+    ")",
+]
+
+REDIRECT_OPERATORS = {"<", ">", ">>", "<<", "<<-", "<&", ">&", "<>", ">|"}
+
+#: Reserved words, recognised only where a command word is expected.
+RESERVED_WORDS = {
+    "if",
+    "then",
+    "else",
+    "elif",
+    "fi",
+    "do",
+    "done",
+    "case",
+    "esac",
+    "while",
+    "until",
+    "for",
+    "in",
+    "{",
+    "}",
+    "!",
+}
+
+
+@dataclass
+class Position:
+    """Line/column position (1-based) within the source script."""
+
+    line: int = 1
+    col: int = 1
+    offset: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    pos: Position = field(default_factory=Position)
+    #: For WORD tokens: the raw source slice including quotes/expansions.
+    #: (``text`` equals ``raw`` for words; kept separate for clarity.)
+    raw: Optional[str] = None
+    #: For ``<<`` heredoc redirections, the collected body (filled by lexer).
+    heredoc_body: Optional[str] = None
+    #: True when a heredoc delimiter was quoted (suppresses expansion).
+    heredoc_quoted: bool = False
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text in texts
+
+    def is_word(self, *texts: str) -> bool:
+        return self.kind is TokenKind.WORD and self.text in texts
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.pos})"

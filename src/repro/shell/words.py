@@ -1,0 +1,312 @@
+"""Structural interpretation of word tokens.
+
+Converts a raw word slice (as produced by the lexer) into a list of
+:class:`~repro.shell.ast.Part` values: quoted/unquoted literals,
+parameter expansions with their operators, command substitutions
+(recursively parsed), arithmetic expansions, globs, and tildes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .ast import (
+    ArithPart,
+    CmdSubPart,
+    Command,
+    GlobPart,
+    LiteralPart,
+    ParamPart,
+    Part,
+    TildePart,
+    Word,
+)
+from .tokens import Position
+
+ParseCommand = Callable[[str], Command]
+
+#: Parameter-expansion operators, longest first.
+_PARAM_OPS = [":-", ":=", ":?", ":+", "%%", "##", "-", "=", "?", "+", "%", "#"]
+
+_SPECIAL_PARAMS = set("@*#?-$!0123456789")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class _WordParser:
+    def __init__(self, raw: str, parse_command: ParseCommand):
+        self.raw = raw
+        self.pos = 0
+        self.parse_command = parse_command
+        self.parts: List[Part] = []
+        self._literal: List[str] = []
+        self._literal_quoted = False
+
+    # -- literal accumulation ------------------------------------------------
+
+    def _emit(self, text: str, quoted: bool) -> None:
+        if not text:
+            return
+        if self._literal and self._literal_quoted != quoted:
+            self._flush()
+        self._literal.append(text)
+        self._literal_quoted = quoted
+
+    def _flush(self) -> None:
+        if self._literal:
+            self.parts.append(
+                LiteralPart("".join(self._literal), self._literal_quoted)
+            )
+            self._literal = []
+            self._literal_quoted = False
+
+    def _push(self, part: Part) -> None:
+        self._flush()
+        self.parts.append(part)
+
+    # -- cursor ----------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[str]:
+        idx = self.pos + ahead
+        return self.raw[idx] if idx < len(self.raw) else None
+
+    def _take(self) -> str:
+        char = self.raw[self.pos]
+        self.pos += 1
+        return char
+
+    # -- main -------------------------------------------------------------------
+
+    def parse(self) -> List[Part]:
+        if self._peek() == "~":
+            self._parse_tilde()
+        while self.pos < len(self.raw):
+            char = self._take()
+            if char == "\\":
+                if self._peek() == "\n":
+                    self._take()  # line continuation disappears entirely
+                elif self.pos < len(self.raw):
+                    self._emit(self._take(), quoted=True)
+                continue
+            if char == "'":
+                end = self.raw.index("'", self.pos)
+                self._emit(self.raw[self.pos : end], quoted=True)
+                # Preserve "quoted empty string" — '' yields an explicit part.
+                if end == self.pos:
+                    self._push(LiteralPart("", quoted=True))
+                self.pos = end + 1
+                continue
+            if char == '"':
+                self._parse_double_quoted()
+                continue
+            if char == "$":
+                self._parse_dollar(quoted=False)
+                continue
+            if char == "`":
+                self._parse_backquote(quoted=False)
+                continue
+            if char in "*?":
+                self._push(GlobPart(char))
+                continue
+            self._emit(char, quoted=False)
+        self._flush()
+        return self.parts
+
+    def _parse_tilde(self) -> None:
+        self._take()  # "~"
+        user = []
+        while (c := self._peek()) is not None and (c.isalnum() or c in "_-."):
+            user.append(self._take())
+        self._push(TildePart("".join(user)))
+
+    def _parse_double_quoted(self) -> None:
+        start = self.pos
+        empty = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated double quote in {self.raw!r}")
+            if char == '"':
+                self._take()
+                if empty:
+                    self._push(LiteralPart("", quoted=True))
+                return
+            empty = False
+            self._take()
+            if char == "\\" and self._peek() in ('"', "$", "`", "\\"):
+                self._emit(self._take(), quoted=True)
+            elif char == "\\" and self._peek() == "\n":
+                self._take()  # line continuation
+            elif char == "$":
+                self._parse_dollar(quoted=True)
+            elif char == "`":
+                self._parse_backquote(quoted=True)
+            else:
+                self._emit(char, quoted=True)
+
+    # -- expansions ----------------------------------------------------------------
+
+    def _parse_dollar(self, quoted: bool) -> None:
+        char = self._peek()
+        if char == "{":
+            self._take()
+            self._parse_braced_param(quoted)
+            return
+        if char == "(":
+            if self._peek(1) == "(":
+                self._parse_arith(quoted)
+            else:
+                self._parse_command_sub(quoted)
+            return
+        if char is not None and char in _SPECIAL_PARAMS:
+            self._push(ParamPart(self._take(), quoted=quoted))
+            return
+        if char is not None and _is_name_start(char):
+            name = [self._take()]
+            while (c := self._peek()) is not None and _is_name_char(c):
+                name.append(self._take())
+            self._push(ParamPart("".join(name), quoted=quoted))
+            return
+        # A lone "$" is literal.
+        self._emit("$", quoted)
+
+    def _parse_braced_param(self, quoted: bool) -> None:
+        body = self._braced_body()
+        if body.startswith("#") and len(body) > 1:
+            self._push(ParamPart(body[1:], op="len", quoted=quoted))
+            return
+        idx = 0
+        if idx < len(body) and body[idx] in _SPECIAL_PARAMS and not body[idx].isdigit():
+            idx += 1
+        else:
+            while idx < len(body) and (
+                _is_name_char(body[idx]) if idx else _is_name_start(body[idx]) or body[idx].isdigit()
+            ):
+                idx += 1
+        name = body[:idx]
+        rest = body[idx:]
+        if not name:
+            raise ValueError(f"bad parameter expansion ${{{body}}} in {self.raw!r}")
+        if not rest:
+            self._push(ParamPart(name, quoted=quoted))
+            return
+        for op in _PARAM_OPS:
+            if rest.startswith(op):
+                arg_raw = rest[len(op) :]
+                arg = parse_word(arg_raw, self.parse_command, Position())
+                self._push(ParamPart(name, op=op, arg=arg, quoted=quoted))
+                return
+        raise ValueError(f"unsupported parameter operator in ${{{body}}}")
+
+    def _braced_body(self) -> str:
+        depth = 1
+        start = self.pos
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated ${{ in {self.raw!r}")
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char == "'":
+                self.pos = self.raw.index("'", self.pos + 1) + 1
+                continue
+            if char == '"':
+                self._skip_dquotes_raw()
+                continue
+            if char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+                if depth == 0:
+                    body = self.raw[start : self.pos]
+                    self.pos += 1
+                    return body
+            self.pos += 1
+        raise AssertionError("unreachable")
+
+    def _skip_dquotes_raw(self) -> None:
+        self.pos += 1  # opening "
+        while True:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated double quote in {self.raw!r}")
+            if char == "\\":
+                self.pos += 2
+                continue
+            self.pos += 1
+            if char == '"':
+                return
+
+    def _parse_command_sub(self, quoted: bool) -> None:
+        self._take()  # "("
+        depth = 1
+        start = self.pos
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated $( in {self.raw!r}")
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char == "'":
+                self.pos = self.raw.index("'", self.pos + 1) + 1
+                continue
+            if char == '"':
+                self._skip_dquotes_raw()
+                continue
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            self.pos += 1
+        source = self.raw[start : self.pos]
+        self.pos += 1  # ")"
+        self._push(CmdSubPart(self.parse_command(source), source=source, quoted=quoted))
+
+    def _parse_arith(self, quoted: bool) -> None:
+        self.pos += 2  # "(("
+        start = self.pos
+        depth = 2
+        while depth:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated $(( in {self.raw!r}")
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            self.pos += 1
+        expr = self.raw[start : self.pos - 2]
+        self._push(ArithPart(expr, quoted=quoted))
+
+    def _parse_backquote(self, quoted: bool) -> None:
+        chunks: List[str] = []
+        while True:
+            char = self._peek()
+            if char is None:
+                raise ValueError(f"unterminated backquote in {self.raw!r}")
+            self.pos += 1
+            if char == "`":
+                break
+            if char == "\\" and self._peek() in ("`", "$", "\\"):
+                chunks.append(self.raw[self.pos])
+                self.pos += 1
+            else:
+                chunks.append(char)
+        source = "".join(chunks)
+        self._push(CmdSubPart(self.parse_command(source), source=source, quoted=quoted))
+
+
+def parse_word(raw: str, parse_command: ParseCommand, pos: Position) -> Word:
+    """Parse raw word text into a structured :class:`Word`."""
+    parser = _WordParser(raw, parse_command)
+    return Word(parts=parser.parse(), raw=raw, pos=pos)

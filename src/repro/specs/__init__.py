@@ -1,0 +1,31 @@
+"""Hoare-triple command specifications and the spec registry (§3)."""
+
+from .ir import (
+    Absent,
+    Clause,
+    CommandSpec,
+    CopiesTo,
+    Creates,
+    Deletes,
+    Effect,
+    Exists,
+    Invocation,
+    LinksTo,
+    ListsDir,
+    ParentExists,
+    PathKind,
+    Pre,
+    ReadsFile,
+    Sel,
+    SpecParseError,
+    WritesFile,
+)
+from .registry import SpecRegistry, default_registry
+
+__all__ = [
+    "CommandSpec", "Clause", "Invocation", "SpecParseError",
+    "SpecRegistry", "default_registry",
+    "Pre", "Exists", "Absent", "ParentExists",
+    "Effect", "Deletes", "Creates", "WritesFile", "ReadsFile", "ListsDir",
+    "CopiesTo", "LinksTo", "PathKind", "Sel",
+]

@@ -1,0 +1,12 @@
+"""The bundled specification corpus (~30 POSIX utilities)."""
+
+from .fileops import all_fileops
+from .streams import all_streams
+from .sysinfo import all_sysinfo
+
+
+def all_specs():
+    return all_fileops() + all_streams() + all_sysinfo()
+
+
+__all__ = ["all_specs", "all_fileops", "all_streams", "all_sysinfo"]

@@ -1,0 +1,286 @@
+"""Hoare-triple command specifications (paper §3, Fig. 4 right).
+
+A :class:`CommandSpec` describes an opaque command well enough for the
+symbolic engine: how its argv parses into flags and operands (the XBD
+utility conventions), and a set of *clauses* — guarded Hoare triples::
+
+    {(∃ $p) ∧ (arg 0 $p path.FD)}  rm -f -r $p  {(∄ $p) ∧ exit 0}
+
+Each clause has a flag guard, preconditions on the file system, effects,
+an exit code, and stream types.  Symbolic execution forks one path per
+applicable clause, *assumes* the preconditions (an assumption that
+contradicts established facts means the clause can never fire), applies
+the effects, and continues with the clause's exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..rtypes import Signature, StreamType
+
+
+class PathKind(Enum):
+    """What an operand path must denote."""
+
+    FILE = auto()
+    DIR = auto()
+    ANY = auto()  # file or directory ("path.FD" in the paper's notation)
+
+
+class Sel(Enum):
+    """Operand selector for preconditions/effects."""
+
+    EACH = auto()       # every path operand
+    FIRST = auto()      # operand 0
+    LAST = auto()       # the final operand (e.g. cp/mv destination)
+    ALL_BUT_LAST = auto()
+
+
+# -- preconditions -------------------------------------------------------------
+
+
+class Pre:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Exists(Pre):
+    sel: Sel = Sel.EACH
+    kind: PathKind = PathKind.ANY
+
+    def __str__(self) -> str:
+        return f"(∃ {_sel(self.sel)}:{self.kind.name.lower()})"
+
+
+@dataclass(frozen=True)
+class Absent(Pre):
+    sel: Sel = Sel.EACH
+
+    def __str__(self) -> str:
+        return f"(∄ {_sel(self.sel)})"
+
+
+@dataclass(frozen=True)
+class ParentExists(Pre):
+    sel: Sel = Sel.EACH
+
+    def __str__(self) -> str:
+        return f"(∃ dirname {_sel(self.sel)})"
+
+
+# -- effects ----------------------------------------------------------------------
+
+
+class Effect:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Deletes(Effect):
+    sel: Sel = Sel.EACH
+    recursive: bool = False
+
+    def __str__(self) -> str:
+        extra = " -r" if self.recursive else ""
+        return f"delete{extra} {_sel(self.sel)}"
+
+
+@dataclass(frozen=True)
+class Creates(Effect):
+    sel: Sel = Sel.EACH
+    kind: PathKind = PathKind.FILE
+    ensure_parents: bool = False
+
+    def __str__(self) -> str:
+        return f"create {self.kind.name.lower()} {_sel(self.sel)}"
+
+
+@dataclass(frozen=True)
+class WritesFile(Effect):
+    sel: Sel = Sel.EACH
+
+    def __str__(self) -> str:
+        return f"write {_sel(self.sel)}"
+
+
+@dataclass(frozen=True)
+class ReadsFile(Effect):
+    sel: Sel = Sel.EACH
+
+    def __str__(self) -> str:
+        return f"read {_sel(self.sel)}"
+
+
+@dataclass(frozen=True)
+class ListsDir(Effect):
+    sel: Sel = Sel.EACH
+
+    def __str__(self) -> str:
+        return f"list {_sel(self.sel)}"
+
+
+@dataclass(frozen=True)
+class CopiesTo(Effect):
+    """Copy/move sources to the last operand."""
+
+    move: bool = False
+
+    def __str__(self) -> str:
+        return "move sources -> last" if self.move else "copy sources -> last"
+
+
+@dataclass(frozen=True)
+class LinksTo(Effect):
+    """Create the last operand as a symlink to the first (ln -s)."""
+
+    def __str__(self) -> str:
+        return "symlink $dst -> $p0"
+
+
+def _sel(sel: Sel) -> str:
+    return {
+        Sel.EACH: "$p",
+        Sel.FIRST: "$p0",
+        Sel.LAST: "$dst",
+        Sel.ALL_BUT_LAST: "$srcs",
+    }[sel]
+
+
+# -- clauses and specs -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A guarded Hoare triple."""
+
+    pre: Tuple[Pre, ...] = ()
+    effects: Tuple[Effect, ...] = ()
+    exit_code: int = 0
+    #: guard: flags that must all be present / absent for this clause
+    requires_flags: FrozenSet[str] = frozenset()
+    forbids_flags: FrozenSet[str] = frozenset()
+    stderr: bool = False  # clause produces stderr output
+    note: str = ""
+
+    def applicable(self, flags: FrozenSet[str]) -> bool:
+        return self.requires_flags <= flags and not (self.forbids_flags & flags)
+
+    def triple(self, command: str) -> str:
+        pre = " ∧ ".join(str(p) for p in self.pre) or "true"
+        post_parts = [str(e) for e in self.effects]
+        post_parts.append(f"exit {self.exit_code}")
+        post = " ∧ ".join(post_parts)
+        invocation = " ".join([command, *sorted(self.requires_flags), "$p"])
+        return f"{{{pre}}} {invocation} {{{post}}}"
+
+
+@dataclass
+class Invocation:
+    """A parsed argv: flags (with values) and positional operands."""
+
+    name: str
+    flags: FrozenSet[str]
+    flag_values: Dict[str, str]
+    operands: List[int]  # indices into the original word list
+
+    def has(self, *flags: str) -> bool:
+        return any(f in self.flags for f in flags)
+
+
+class SpecParseError(ValueError):
+    """argv does not satisfy the command's invocation syntax."""
+
+
+@dataclass
+class CommandSpec:
+    """Specification of one command."""
+
+    name: str
+    #: single-char flags; value = True when the flag consumes an argument
+    options: Dict[str, bool] = field(default_factory=dict)
+    long_options: Dict[str, bool] = field(default_factory=dict)
+    clauses: List[Clause] = field(default_factory=list)
+    min_operands: int = 0
+    max_operands: Optional[int] = None
+    #: output stream type produced on success (None = no stdout / unknown)
+    stdout: Optional[StreamType] = None
+    #: stream-transformer signature (overrides stdout when present)
+    signature: Optional[Signature] = None
+    #: flags available per platform (E15); missing flag = portable
+    platform_flags: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: operands are paths (drives fs reasoning)
+    operands_are_paths: bool = True
+    #: free-form documentation line (mirrors the man page's NAME section)
+    summary: str = ""
+
+    # -- argv parsing (XBD utility syntax guidelines) -------------------------
+
+    def parse_argv(self, argv: Sequence[str]) -> Invocation:
+        """Parse flags/operands; raises :class:`SpecParseError` on
+        violations of the declared syntax."""
+        flags = set()
+        flag_values: Dict[str, str] = {}
+        operands: List[int] = []
+        idx = 1
+        seen_ddash = False
+        while idx < len(argv):
+            arg = argv[idx]
+            if not seen_ddash and arg == "--":
+                seen_ddash = True
+            elif not seen_ddash and arg.startswith("--"):
+                key, _, value = arg[2:].partition("=")
+                if key not in self.long_options:
+                    raise SpecParseError(f"{self.name}: unknown option --{key}")
+                flags.add("--" + key)
+                if self.long_options[key] and value:
+                    flag_values["--" + key] = value
+            elif not seen_ddash and arg.startswith("-") and arg != "-":
+                jdx = 1
+                while jdx < len(arg):
+                    char = arg[jdx]
+                    if char not in self.options:
+                        raise SpecParseError(f"{self.name}: unknown option -{char}")
+                    flags.add("-" + char)
+                    if self.options[char]:
+                        value = arg[jdx + 1 :]
+                        if not value:
+                            idx += 1
+                            if idx >= len(argv):
+                                raise SpecParseError(
+                                    f"{self.name}: option -{char} requires an argument"
+                                )
+                            value = argv[idx]
+                        flag_values["-" + char] = value
+                        break
+                    jdx += 1
+            else:
+                operands.append(idx)
+            idx += 1
+        if len(operands) < self.min_operands:
+            raise SpecParseError(
+                f"{self.name}: expected at least {self.min_operands} operand(s)"
+            )
+        if self.max_operands is not None and len(operands) > self.max_operands:
+            raise SpecParseError(
+                f"{self.name}: expected at most {self.max_operands} operand(s)"
+            )
+        return Invocation(self.name, frozenset(flags), flag_values, operands)
+
+    # -- queries -------------------------------------------------------------------
+
+    def applicable_clauses(self, flags: FrozenSet[str]) -> List[Clause]:
+        return [c for c in self.clauses if c.applicable(flags)]
+
+    def triples(self) -> List[str]:
+        return [c.triple(self.name) for c in self.clauses]
+
+    def unsupported_flags_on(self, platform: str) -> List[str]:
+        """Flags this spec declares unavailable on ``platform`` (E15)."""
+        return sorted(
+            flag
+            for flag, platforms in self.platform_flags.items()
+            if platform not in platforms
+        )

@@ -1,0 +1,49 @@
+"""The specification registry.
+
+Specs enter the registry from two provenances — the hand-written corpus
+(:mod:`repro.specs.corpus`) and the miner (:mod:`repro.miner`) — and the
+analyzer consumes them uniformly (DESIGN.md decision 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .ir import CommandSpec
+
+
+class SpecRegistry:
+    def __init__(self):
+        self._specs: Dict[str, CommandSpec] = {}
+
+    def register(self, spec: CommandSpec, replace: bool = True) -> None:
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"spec for {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> Optional[CommandSpec]:
+        return self._specs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+_default: Optional[SpecRegistry] = None
+
+
+def default_registry() -> SpecRegistry:
+    """The registry preloaded with the bundled corpus."""
+    global _default
+    if _default is None:
+        registry = SpecRegistry()
+        from .corpus import all_specs
+
+        for spec in all_specs():
+            registry.register(spec)
+        _default = registry
+    return _default

@@ -1,0 +1,6 @@
+"""Symbolic execution of shell programs (paper §3, ingredient 2)."""
+
+from .engine import Engine, ExecResult, SCRIPT_PATH_RE
+from .state import StdoutChunk, SymState
+
+__all__ = ["Engine", "ExecResult", "SymState", "StdoutChunk", "SCRIPT_PATH_RE"]

@@ -1,0 +1,223 @@
+"""Concrete evaluation of POSIX arithmetic expansion ``$((expr))``.
+
+When every operand is concrete the engine computes the exact value
+(validated differentially against /bin/sh); otherwise the expansion
+falls back to a symbolic integer.
+
+Supported: decimal/hex/octal literals, variable names, ``+ - * / %``,
+parentheses, unary ``- + !``, comparisons, ``&& ||``, and bitwise
+``& | ^ << >>`` — the operators that appear in real scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class ArithError(ValueError):
+    """Unsupported or malformed arithmetic."""
+
+
+Lookup = Callable[[str], Optional[str]]
+
+
+def evaluate(expr: str, lookup: Lookup) -> Optional[int]:
+    """The concrete value of ``expr``, or None when any operand is
+    unknown/symbolic.  Raises :class:`ArithError` on malformed input."""
+    tokens = _tokenize(expr)
+    parser = _Parser(tokens, lookup)
+    value = parser.parse_expr()
+    if parser.pos != len(parser.tokens):
+        raise ArithError(f"trailing tokens in $(({expr}))")
+    return value
+
+
+_PUNCT = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "(", ")", "<", ">", "!", "&", "|", "^", "~",
+]
+
+
+def _tokenize(expr: str) -> List[str]:
+    tokens: List[str] = []
+    idx = 0
+    while idx < len(expr):
+        char = expr[idx]
+        if char.isspace():
+            idx += 1
+            continue
+        if char.isdigit():
+            start = idx
+            while idx < len(expr) and (expr[idx].isalnum()):
+                idx += 1
+            tokens.append(expr[start:idx])
+            continue
+        if char.isalpha() or char == "_":
+            start = idx
+            while idx < len(expr) and (expr[idx].isalnum() or expr[idx] == "_"):
+                idx += 1
+            tokens.append(expr[start:idx])
+            continue
+        if char == "$":
+            if idx + 1 < len(expr) and expr[idx + 1].isdigit():
+                start = idx + 1
+                idx += 1
+                while idx < len(expr) and expr[idx].isdigit():
+                    idx += 1
+                tokens.append("$" + expr[start:idx])  # positional parameter
+                continue
+            idx += 1  # `$X` inside arith behaves like `X`
+            continue
+        for punct in _PUNCT:
+            if expr.startswith(punct, idx):
+                tokens.append(punct)
+                idx += len(punct)
+                break
+        else:
+            raise ArithError(f"unsupported character {char!r} in arithmetic")
+    return tokens
+
+
+class _Parser:
+    """Precedence-climbing over (value-or-None) integers; None is
+    contagious (symbolic operand ⇒ symbolic result)."""
+
+    #: binary operators by increasing precedence level
+    _LEVELS: List[List[str]] = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    _OPS: Dict[str, Callable[[int, int], int]] = {
+        "||": lambda a, b: int(bool(a) or bool(b)),
+        "&&": lambda a, b: int(bool(a) and bool(b)),
+        "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+        "&": lambda a, b: a & b,
+        "==": lambda a, b: int(a == b),
+        "!=": lambda a, b: int(a != b),
+        "<": lambda a, b: int(a < b),
+        ">": lambda a, b: int(a > b),
+        "<=": lambda a, b: int(a <= b),
+        ">=": lambda a, b: int(a >= b),
+        "<<": lambda a, b: a << b,
+        ">>": lambda a, b: a >> b,
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: _int_div(a, b),
+        "%": lambda a, b: _int_mod(a, b),
+    }
+
+    def __init__(self, tokens: List[str], lookup: Lookup):
+        self.tokens = tokens
+        self.pos = 0
+        self.lookup = lookup
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ArithError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse_expr(self, level: int = 0) -> Optional[int]:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        while self.peek() in self._LEVELS[level]:
+            op = self.take()
+            right = self.parse_expr(level + 1)
+            if left is None or right is None:
+                left = None
+            else:
+                left = self._OPS[op](left, right)
+        return left
+
+    def parse_unary(self) -> Optional[int]:
+        token = self.peek()
+        if token == "-":
+            self.take()
+            value = self.parse_unary()
+            return -value if value is not None else None
+        if token == "+":
+            self.take()
+            return self.parse_unary()
+        if token == "!":
+            self.take()
+            value = self.parse_unary()
+            return int(not value) if value is not None else None
+        if token == "~":
+            self.take()
+            value = self.parse_unary()
+            return ~value if value is not None else None
+        return self.parse_atom()
+
+    def parse_atom(self) -> Optional[int]:
+        token = self.take()
+        if token == "(":
+            value = self.parse_expr()
+            if self.take() != ")":
+                raise ArithError("unbalanced parenthesis")
+            return value
+        if token[0] == "$":
+            raw = self.lookup(token[1:])
+            if raw is None:
+                return None
+            raw = raw.strip()
+            if raw == "":
+                return 0
+            try:
+                return _parse_int(raw)
+            except ArithError:
+                return None
+        if token[0].isdigit():
+            return _parse_int(token)
+        if token[0].isalpha() or token[0] == "_":
+            raw = self.lookup(token)
+            if raw is None:
+                return None
+            raw = raw.strip()
+            if raw == "":
+                return 0  # unset/empty variables count as 0
+            try:
+                return _parse_int(raw)
+            except ArithError:
+                return None  # non-numeric contents: symbolic
+        raise ArithError(f"unexpected token {token!r}")
+
+
+def _parse_int(text: str) -> int:
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.startswith("0") and len(text) > 1 and text.isdigit():
+            return int(text, 8)
+        return int(text, 10)
+    except ValueError as exc:
+        raise ArithError(f"bad integer literal {text!r}") from exc
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithError("division by zero")
+    # C-style truncation toward zero, as the shell does
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ArithError("division by zero")
+    return a - _int_div(a, b) * b

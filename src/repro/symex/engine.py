@@ -1,0 +1,1004 @@
+"""The symbolic execution engine (paper §3, ingredient 2).
+
+Simulates the shell interpreter over sets of symbolic states: expands
+parameters, tracks working directories, follows success *and* failure
+paths of every command, collects and propagates constraints on symbolic
+variables, and prunes via concrete state whenever possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checkers.base import Checker
+from ..diag import Diagnostic, Severity, dedupe
+from ..fs import FsContradiction, NodeKind, parse_sympath
+from ..rlang import Regex
+from ..rtypes import StreamType, check_pipeline
+from ..shell import parse as parse_shell
+from ..shell.ast import (
+    AndOr,
+    Background,
+    BraceGroup,
+    Case,
+    Command,
+    For,
+    FunctionDef,
+    If,
+    Pipeline,
+    Redirect,
+    Sequence as SeqNode,
+    SimpleCommand,
+    Subshell,
+    While,
+    Word,
+)
+from ..shell.glob import word_pattern_to_regex
+from ..specs import (
+    Absent,
+    Clause,
+    CommandSpec,
+    CopiesTo,
+    Creates,
+    Deletes,
+    Exists,
+    LinksTo,
+    ListsDir,
+    ParentExists,
+    PathKind,
+    ReadsFile,
+    Sel,
+    SpecRegistry,
+    WritesFile,
+    default_registry,
+)
+from ..symstr import SymString
+from . import builtins as builtins_mod
+from .expansion import expand_word, expand_words
+from .state import SymState
+
+#: Script paths ($0): §3's example constraint.
+SCRIPT_PATH_RE = r"/?([^/\n]*/)*[^/\n]+"
+
+
+@dataclass
+class ExecResult:
+    """Outcome of exploring a script."""
+
+    states: List[SymState]
+    diagnostics: List[Diagnostic]
+    paths_explored: int = 0
+    paths_merged: int = 0
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+
+class Engine:
+    """Configurable symbolic executor."""
+
+    def __init__(
+        self,
+        registry: Optional[SpecRegistry] = None,
+        checkers: Optional[List[Checker]] = None,
+        max_fork: int = 64,
+        max_loop: int = 2,
+        max_call_depth: int = 8,
+        prune: bool = True,
+        signature_overrides: Optional[Dict[str, "object"]] = None,
+        initial_env: Optional[Dict[str, "object"]] = None,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.checkers = checkers if checkers is not None else []
+        self.max_fork = max_fork
+        self.max_loop = max_loop
+        self.max_call_depth = max_call_depth
+        self.prune = prune
+        #: annotation-supplied stream signatures, keyed by command name or
+        #: by the full argv string (the more specific key wins)
+        self.signature_overrides = dict(signature_overrides or {})
+        #: annotation-supplied initial variable constraints (name -> Regex)
+        self.initial_env = dict(initial_env or {})
+        #: variable names assigned anywhere in the current script; names
+        #: never assigned are treated as inherited environment variables
+        #: (symbolic, possibly empty) rather than silently-empty unsets
+        self.script_assigned: set = set()
+        self.paths_explored = 0
+        self.paths_merged = 0
+        #: per-command success feasibility, aggregated across every path
+        #: reaching it: id(node) -> [node, feasible_count, visit_count]
+        self._success_tracker: Dict[int, list] = {}
+        #: >0 while evaluating a condition context (if/while/&&/||/!),
+        #: where `set -e` does not fire
+        self._cond_depth = 0
+
+    # -- entry points -------------------------------------------------------
+
+    def initial_state(self, n_args: int = 0) -> SymState:
+        state = SymState()
+        vid0 = state.store.fresh(Regex.compile(SCRIPT_PATH_RE), label="$0")
+        state.params = [SymString.var(vid0)]
+        for idx in range(1, n_args + 1):
+            vid = state.store.fresh(label=f"${idx}")
+            state.params.append(SymString.var(vid))
+        cwd_vid = state.store.fresh(
+            Regex.compile(builtins_mod.ABS_PATH), label="$PWD"
+        )
+        state.cwd_str = SymString.var(cwd_vid)
+        state.cwd_node = None
+        for name, constraint in self.initial_env.items():
+            vid = state.store.fresh(constraint, label=f"${name}")
+            state.set_var(name, SymString.var(vid))
+        return state
+
+    def run_script(
+        self, source: str, n_args: int = 0, state: Optional[SymState] = None
+    ) -> ExecResult:
+        ast = parse_shell(source)
+        return self.run(ast, state=state, n_args=n_args)
+
+    def run(
+        self, ast: Command, state: Optional[SymState] = None, n_args: int = 0
+    ) -> ExecResult:
+        self.paths_explored = 0
+        self.paths_merged = 0
+        self.script_assigned = _assigned_names(ast)
+        self._success_tracker = {}
+        if state is None:
+            state = self.initial_state(n_args=n_args)
+        finals = self.eval(ast, state)
+        diagnostics: List[Diagnostic] = []
+        for final in finals:
+            diagnostics.extend(final.diagnostics)
+        # a command "always fails" only when its success preconditions
+        # contradicted established facts on EVERY path that reached it
+        sink = _DiagSink()
+        for node, feasible, visits in self._success_tracker.values():
+            if visits and not feasible:
+                reason = (
+                    "its preconditions contradict established file-system facts"
+                )
+                for checker in self.checkers:
+                    checker.on_always_fails(sink, node, reason)
+        diagnostics.extend(sink.diagnostics)
+        for checker in self.checkers:
+            diagnostics.extend(checker.finish(finals))
+        return ExecResult(
+            states=finals,
+            diagnostics=dedupe(diagnostics),
+            paths_explored=self.paths_explored,
+            paths_merged=self.paths_merged,
+        )
+
+    # -- core dispatch ----------------------------------------------------------
+
+    def eval(self, node: Command, state: SymState) -> List[SymState]:
+        if state.halted:
+            return [state]
+        self.paths_explored += 1
+        if isinstance(node, SimpleCommand):
+            return self._prune(self.eval_simple(node, state))
+        if isinstance(node, Pipeline):
+            return self._prune(self.eval_pipeline(node, state))
+        if isinstance(node, AndOr):
+            return self._prune(self.eval_andor(node, state))
+        if isinstance(node, SeqNode):
+            return self._prune(self.eval_sequence(node, state))
+        if isinstance(node, Background):
+            return self.eval_background(node, state)
+        if isinstance(node, Subshell):
+            return self.eval_subshell(node, state)
+        if isinstance(node, BraceGroup):
+            states = self.eval(node.body, state)
+            return self._apply_redirect_list(node.redirects, states)
+        if isinstance(node, If):
+            return self._prune(self.eval_if(node, state))
+        if isinstance(node, While):
+            return self._prune(self.eval_while(node, state))
+        if isinstance(node, For):
+            return self._prune(self.eval_for(node, state))
+        if isinstance(node, Case):
+            return self._prune(self.eval_case(node, state))
+        if isinstance(node, FunctionDef):
+            state.functions[node.name] = node.body
+            return [state.with_status(0)]
+        raise TypeError(f"engine cannot evaluate {type(node).__name__}")
+
+    def eval_many(self, node: Command, states: List[SymState]) -> List[SymState]:
+        results: List[SymState] = []
+        for state in states:
+            results.extend(self.eval(node, state))
+        return self._prune(results)
+
+    # -- simple commands -----------------------------------------------------------
+
+    def eval_simple(self, node: SimpleCommand, state: SymState) -> List[SymState]:
+        # 1. assignments
+        assign_states = [state]
+        for assignment in node.assignments:
+            next_states = []
+            for st in assign_states:
+                for val_state, value in expand_word(assignment.value, st, self):
+                    val_state.set_var(assignment.name, value)
+                    next_states.append(val_state)
+            assign_states = next_states
+
+        if not node.words:
+            # assignment-only commands exit with the last command
+            # substitution's status (already left in place by expansion),
+            # or 0 when no substitution ran
+            from ..shell.ast import CmdSubPart
+
+            has_cmdsub = any(
+                isinstance(part, CmdSubPart)
+                for assignment in node.assignments
+                for part in assignment.value.parts
+            )
+            results = []
+            for st in assign_states:
+                if not has_cmdsub:
+                    st.status = 0
+                results.extend(self._apply_redirects(node.redirects, st))
+            return results
+
+        # 2. argv expansion
+        results: List[SymState] = []
+        for st in assign_states:
+            for argv_state, argv in expand_words(node.words, st, self):
+                results.extend(self._dispatch_command(node, argv, argv_state))
+        return results
+
+    def _dispatch_command(
+        self, node: SimpleCommand, argv: List[SymString], state: SymState
+    ) -> List[SymState]:
+        name = argv[0].concrete_value()
+
+        # redirects apply regardless of how the command is resolved
+        def with_redirects(states: List[SymState]) -> List[SymState]:
+            return self._apply_redirect_list(node.redirects, states)
+
+        if name is None:
+            state.warn(
+                Diagnostic(
+                    code="dynamic-command",
+                    message="command name is computed at runtime; its effects "
+                    "are unknown",
+                    severity=Severity.INFO,
+                    pos=node.pos,
+                )
+            )
+            return with_redirects(self._unknown_command(state))
+
+        if name in state.functions:
+            return with_redirects(self._call_function(name, argv, state))
+
+        spec = self.registry.get(name)
+        for checker in self.checkers:
+            checker.on_command(state, node, argv, spec)
+
+        if builtins_mod.is_builtin(name):
+            return with_redirects(builtins_mod.run_builtin(name, argv, state, self))
+
+        if spec is not None:
+            return with_redirects(self._apply_spec(spec, node, argv, state))
+
+        state.warn(
+            Diagnostic(
+                code="unknown-command",
+                message=f"no specification for {name!r}; treating its "
+                "effects as unknown",
+                severity=Severity.INFO,
+                pos=node.pos,
+            )
+        )
+        return with_redirects(self._unknown_command(state))
+
+    def _unknown_command(self, state: SymState) -> List[SymState]:
+        vid = state.store.fresh(label="unknown-output")
+        state.emit_text(SymString.var(vid))
+        state.status = None
+        return [state]
+
+    def _call_function(
+        self, name: str, argv: List[SymString], state: SymState
+    ) -> List[SymState]:
+        if state.depth >= self.max_call_depth:
+            state.status = None
+            return [state]
+        body = state.functions[name]
+        saved_params = list(state.params)
+        state.params = [saved_params[0] if saved_params else SymString.lit(name)] + argv[1:]
+        state.depth += 1
+        results = self.eval(body, state)
+        for result in results:
+            result.params = saved_params
+            result.depth -= 1
+            result.halted = False  # `return` only exits the function
+        return results
+
+    # -- specs ---------------------------------------------------------------------
+
+    def _apply_spec(
+        self,
+        spec: CommandSpec,
+        node: SimpleCommand,
+        argv: List[SymString],
+        state: SymState,
+    ) -> List[SymState]:
+        flags, operand_values = self._parse_argv(spec, argv, state, node)
+
+        clauses = spec.applicable_clauses(frozenset(flags))
+        if not clauses:
+            state.status = None
+            return [state]
+
+        results: List[SymState] = []
+        any_success_feasible = False
+        has_success_clause = any(c.exit_code == 0 for c in clauses)
+        failure_branches: List[SymState] = []
+
+        for clause in clauses:
+            branch = state.fork(
+                note=f"{spec.name}: {clause.note or f'exit {clause.exit_code}'}"
+            )
+            feasible, reason = self._apply_clause(
+                spec, clause, operand_values, branch, node
+            )
+            if not feasible:
+                continue
+            branch.status = clause.exit_code
+            if clause.exit_code == 0:
+                any_success_feasible = True
+                if spec.stdout is not None:
+                    branch.emit_stream(spec.stdout)
+                results.append(branch)
+            else:
+                failure_branches.append(branch)
+
+        if has_success_clause and operand_values:
+            entry = self._success_tracker.setdefault(id(node), [node, 0, 0])
+            entry[1] += 1 if any_success_feasible else 0
+            entry[2] += 1
+
+        results.extend(failure_branches)
+        if not results:
+            # everything contradicted: keep a pruned-but-alive failure state
+            state.status = 1
+            return [state]
+        return results
+
+    def _parse_argv(
+        self,
+        spec: CommandSpec,
+        argv: List[SymString],
+        state: SymState,
+        node: SimpleCommand,
+    ) -> Tuple[List[str], List[SymString]]:
+        """Tolerant XBD-style parse of symbolic argv: concrete dash words
+        become flags, everything else is an operand."""
+        flags: List[str] = []
+        operands: List[SymString] = []
+        seen_ddash = False
+        idx = 1
+        while idx < len(argv):
+            concrete = argv[idx].concrete_value()
+            if not seen_ddash and concrete == "--":
+                seen_ddash = True
+            elif (
+                not seen_ddash
+                and concrete is not None
+                and concrete.startswith("--")
+            ):
+                key = concrete.split("=", 1)[0]
+                flags.append(key)
+                if spec.long_options.get(key[2:]) and "=" not in concrete:
+                    idx += 1  # consumes the next word as its value
+            elif (
+                not seen_ddash
+                and concrete is not None
+                and concrete.startswith("-")
+                and concrete != "-"
+            ):
+                jdx = 1
+                while jdx < len(concrete):
+                    char = concrete[jdx]
+                    flags.append("-" + char)
+                    if spec.options.get(char):
+                        if jdx + 1 >= len(concrete):
+                            idx += 1  # value is the next word
+                        break
+                    jdx += 1
+            else:
+                operands.append(argv[idx])
+            idx += 1
+        return flags, operands
+
+    def _select(self, sel: Sel, operands: List[SymString]) -> List[SymString]:
+        if sel is Sel.EACH:
+            return list(operands)
+        if sel is Sel.FIRST:
+            return operands[:1]
+        if sel is Sel.LAST:
+            return operands[-1:]
+        if sel is Sel.ALL_BUT_LAST:
+            return operands[:-1]
+        raise AssertionError(sel)
+
+    def _apply_clause(
+        self,
+        spec: CommandSpec,
+        clause: Clause,
+        operands: List[SymString],
+        state: SymState,
+        node: SimpleCommand,
+    ) -> Tuple[bool, str]:
+        if not spec.operands_are_paths:
+            return True, ""
+        try:
+            for pre in clause.pre:
+                self._assume_pre(pre, operands, state)
+        except FsContradiction as exc:
+            return False, str(exc)
+        for effect in clause.effects:
+            self._apply_effect(effect, operands, state, node)
+        return True, ""
+
+    def _assume_pre(self, pre, operands: List[SymString], state: SymState) -> None:
+        if isinstance(pre, Exists):
+            kind = {
+                PathKind.FILE: NodeKind.FILE,
+                PathKind.DIR: NodeKind.DIR,
+                PathKind.ANY: NodeKind.UNKNOWN,
+            }[pre.kind]
+            for value in self._select(pre.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    state.fs.assume_exists(node_id, kind)
+        elif isinstance(pre, Absent):
+            for value in self._select(pre.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    state.fs.assume_absent(node_id)
+        elif isinstance(pre, ParentExists):
+            for value in self._select(pre.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    parent = state.fs.nodes[node_id].parent
+                    if parent is not None:
+                        state.fs.assume_exists(parent, NodeKind.DIR)
+
+    def _apply_effect(
+        self, effect, operands: List[SymString], state: SymState, node: SimpleCommand
+    ) -> None:
+        if isinstance(effect, Deletes):
+            for value in self._select(effect.sel, operands):
+                for checker in self.checkers:
+                    checker.on_delete(state, node, value, effect.recursive)
+                target = value.without_globs() if value.has_glob() else value
+                node_id = self._resolve(target, state)
+                if node_id is not None:
+                    if value.has_glob():
+                        # deleting the *children* of the target directory
+                        for child_id in list(state.fs.children_of(node_id).values()):
+                            state.fs.delete(child_id, recursive=effect.recursive)
+                    else:
+                        state.fs.delete(node_id, recursive=effect.recursive)
+        elif isinstance(effect, Creates):
+            for value in self._select(effect.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    kind = NodeKind.DIR if effect.kind is PathKind.DIR else NodeKind.FILE
+                    state.fs.create(node_id, kind, ensure_parents=effect.ensure_parents)
+        elif isinstance(effect, WritesFile):
+            for value in self._select(effect.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    state.fs.write_file(node_id)
+        elif isinstance(effect, ReadsFile):
+            for value in self._select(effect.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    state.fs.read_file(node_id)
+        elif isinstance(effect, ListsDir):
+            from ..fs import FsOp
+
+            for value in self._select(effect.sel, operands):
+                node_id = self._resolve(value, state)
+                if node_id is not None:
+                    state.fs.log.record(FsOp.LIST, state.fs.path_of(node_id), node_id)
+        elif isinstance(effect, CopiesTo):
+            if len(operands) >= 2:
+                for source in operands[:-1]:
+                    src_id = self._resolve(source, state)
+                    if src_id is not None and effect.move:
+                        state.fs.delete(src_id, recursive=True)
+                dst_id = self._resolve(operands[-1], state)
+                if dst_id is not None:
+                    state.fs.create(dst_id, NodeKind.UNKNOWN)
+        elif isinstance(effect, LinksTo):
+            if len(operands) >= 2:
+                src_id = self._resolve(operands[0], state)
+                dst_id = self._resolve(operands[-1], state)
+                if dst_id is not None:
+                    if src_id is not None:
+                        state.fs.make_symlink(dst_id, src_id)
+                    else:
+                        state.fs.create(dst_id, NodeKind.SYMLINK)
+
+    def _resolve(self, value: SymString, state: SymState) -> Optional[int]:
+        if value.has_glob():
+            # resolve the static prefix before the first wildcard
+            from ..symstr import GlobAtom
+
+            atoms = []
+            for atom in value.atoms:
+                if isinstance(atom, GlobAtom):
+                    break
+                atoms.append(atom)
+            value = SymString(atoms)
+        path = parse_sympath(value)
+        if path is None:
+            return None
+        return state.fs.resolve(path, cwd=state.cwd_node)
+
+    # -- redirects --------------------------------------------------------------------
+
+    def _apply_redirect_list(
+        self, redirects: List[Redirect], states: List[SymState]
+    ) -> List[SymState]:
+        if not redirects:
+            return states
+        results = []
+        for state in states:
+            results.extend(self._apply_redirects(redirects, state))
+        return results
+
+    def _apply_redirects(
+        self, redirects: List[Redirect], state: SymState
+    ) -> List[SymState]:
+        states = [state]
+        for redirect in redirects:
+            if redirect.op in (">", ">>", ">|"):
+                next_states = []
+                for st in states:
+                    for val_state, value in expand_word(redirect.target, st, self):
+                        node_id = self._resolve(value, val_state)
+                        if node_id is not None:
+                            try:
+                                val_state.fs.write_file(node_id)
+                            except FsContradiction as exc:
+                                val_state.warn(
+                                    Diagnostic(
+                                        code="redirect-conflict",
+                                        message=str(exc),
+                                        severity=Severity.WARNING,
+                                        pos=redirect.target.pos,
+                                    )
+                                )
+                        next_states.append(val_state)
+                states = next_states
+            elif redirect.op == "<":
+                next_states = []
+                for st in states:
+                    for val_state, value in expand_word(redirect.target, st, self):
+                        node_id = self._resolve(value, val_state)
+                        if node_id is not None:
+                            try:
+                                val_state.fs.read_file(node_id)
+                            except FsContradiction as exc:
+                                val_state.warn(
+                                    Diagnostic(
+                                        code="always-fails",
+                                        message=f"input redirection can never "
+                                        f"succeed: {exc}",
+                                        severity=Severity.ERROR,
+                                        pos=redirect.target.pos,
+                                        always=True,
+                                    )
+                                )
+                        next_states.append(val_state)
+                states = next_states
+            # <&, >&, <>, heredocs: no fs consequences we track
+        return states
+
+    # -- composition ---------------------------------------------------------------------
+
+    def eval_pipeline(self, node: Pipeline, state: SymState) -> List[SymState]:
+        if len(node.commands) == 1:
+            results = self.eval(node.commands[0], state)
+            if node.negated:
+                for result in results:
+                    result.status = (
+                        None
+                        if result.status is None
+                        else (1 if result.status == 0 else 0)
+                    )
+            return results
+
+        # stream-type analysis over the stages with static argv
+        argvs = []
+        static = True
+        for stage in node.commands:
+            argv = _static_argv(stage)
+            if argv is None:
+                static = False
+                break
+            argvs.append(argv)
+        output_type: Optional[StreamType] = None
+        if static:
+            overrides = None
+            if self.signature_overrides:
+                overrides = []
+                for argv in argvs:
+                    sig = self.signature_overrides.get(
+                        " ".join(argv)
+                    ) or self.signature_overrides.get(argv[0])
+                    overrides.append(sig)
+            types = check_pipeline(argvs, signatures=overrides)
+            for checker in self.checkers:
+                checker.on_pipeline(state, node, types.issues)
+            output_type = types.output
+
+        # effects: thread states through each stage, discarding stdout of
+        # all but the last stage
+        states = [state]
+        for idx, stage in enumerate(node.commands):
+            next_states: List[SymState] = []
+            for st in states:
+                saved_stdout = list(st.stdout)
+                st.stdout = []
+                for result in self.eval(stage, st):
+                    result.stdout = saved_stdout
+                    next_states.append(result)
+            states = self._prune(next_states)
+
+        for result in states:
+            if output_type is not None:
+                result.emit_stream(output_type)
+            else:
+                vid = result.store.fresh(label="pipeline-output")
+                result.emit_text(SymString.var(vid))
+            if node.negated and result.status is not None:
+                result.status = 1 if result.status == 0 else 0
+        return states
+
+    def eval_andor(self, node: AndOr, state: SymState) -> List[SymState]:
+        left_states = self._eval_condition(node.left, state)
+        results: List[SymState] = []
+        for left in left_states:
+            if left.halted:
+                results.append(left)
+                continue
+            success = left.succeeded()
+            run_right = (success is True) if node.op == "&&" else (success is False)
+            if success is None:
+                ok = left.fork(note=f"{node.op}: left succeeded")
+                ok.status = 0
+                fail = left.fork(note=f"{node.op}: left failed")
+                fail.status = 1
+                branches = [ok, fail]
+            else:
+                branches = [left]
+            for branch in branches:
+                branch_success = branch.succeeded()
+                take_right = (
+                    (branch_success is True)
+                    if node.op == "&&"
+                    else (branch_success is False)
+                )
+                if take_right:
+                    results.extend(self.eval(node.right, branch))
+                else:
+                    results.append(branch)
+        return results
+
+    def eval_sequence(self, node: SeqNode, state: SymState) -> List[SymState]:
+        states = [state]
+        for command in node.commands:
+            if states and all(st.halted for st in states):
+                # every world already exited: the rest is dead code
+                pos = getattr(command, "pos", None)
+                diag = Diagnostic(
+                    code="unreachable-command",
+                    message="this command is unreachable: every execution "
+                    "path has already exited",
+                    severity=Severity.WARNING,
+                    pos=pos,
+                    always=True,
+                )
+                if not any(
+                    d.code == "unreachable-command" and str(d.pos) == str(pos)
+                    for d in states[0].diagnostics
+                ):
+                    states[0].warn(diag)
+                break
+            states = self.eval_many(command, states)
+            if self._cond_depth == 0:
+                for st in states:
+                    # set -e: a failing command (outside any condition
+                    # context) aborts the script
+                    if (
+                        not st.halted
+                        and "e" in st.options
+                        and st.status is not None
+                        and st.status != 0
+                    ):
+                        st.halted = True
+                        st.note("set -e: aborted on failure")
+        return states
+
+    def eval_background(self, node: Background, state: SymState) -> List[SymState]:
+        # the child's effects may happen; explore them, then continue with
+        # status 0 (launching succeeds immediately)
+        results = self.eval(node.command, state)
+        for result in results:
+            result.status = 0
+            result.halted = False
+        return results
+
+    def eval_subshell(self, node: Subshell, state: SymState) -> List[SymState]:
+        child = state.fork(note="subshell")
+        results = []
+        for sub in self.eval(node.body, child):
+            sub.env = dict(state.env)
+            sub.params = list(state.params)
+            sub.functions = dict(state.functions)
+            sub.cwd_node = state.cwd_node
+            sub.cwd_str = state.cwd_str
+            sub.halted = state.halted
+            results.append(sub)
+        return self._apply_redirect_list(node.redirects, results)
+
+    # -- control flow ---------------------------------------------------------------------
+
+    def _fork_on_status(
+        self, states: List[SymState], note: str
+    ) -> Tuple[List[SymState], List[SymState]]:
+        """Split states into (success, failure), forking unknowns."""
+        success, failure = [], []
+        for st in states:
+            if st.halted:
+                failure.append(st)  # halted states flow to the join
+                continue
+            outcome = st.succeeded()
+            if outcome is True:
+                success.append(st)
+            elif outcome is False:
+                failure.append(st)
+            else:
+                ok = st.fork(note=f"{note}: success")
+                ok.status = 0
+                bad = st.fork(note=f"{note}: failure")
+                bad.status = 1
+                success.append(ok)
+                failure.append(bad)
+        return success, failure
+
+    def _eval_condition(self, node: Command, state: SymState) -> List[SymState]:
+        self._cond_depth += 1
+        try:
+            return self.eval(node, state)
+        finally:
+            self._cond_depth -= 1
+
+    def eval_if(self, node: If, state: SymState) -> List[SymState]:
+        cond_states = self._eval_condition(node.cond, state)
+        success, failure = self._fork_on_status(cond_states, "if-condition")
+        results: List[SymState] = []
+        for st in success:
+            results.extend(self.eval(node.then, st) if not st.halted else [st])
+
+        pending = [st for st in failure if not st.halted]
+        results.extend(st for st in failure if st.halted)
+        for clause in node.elifs:
+            next_pending: List[SymState] = []
+            for st in pending:
+                cond_states = self._eval_condition(clause.cond, st)
+                ok, bad = self._fork_on_status(cond_states, "elif-condition")
+                for s in ok:
+                    results.extend(self.eval(clause.then, s) if not s.halted else [s])
+                next_pending.extend(bad)
+            pending = next_pending
+        if node.else_ is not None:
+            for st in pending:
+                results.extend(self.eval(node.else_, st) if not st.halted else [st])
+        else:
+            for st in pending:
+                st.status = 0
+                results.append(st)
+        return self._apply_redirect_list(node.redirects, results)
+
+    def eval_while(self, node: While, state: SymState) -> List[SymState]:
+        exits: List[SymState] = []
+        current = [state]
+        for iteration in range(self.max_loop + 1):
+            next_current: List[SymState] = []
+            for st in current:
+                cond_states = self._eval_condition(node.cond, st)
+                success, failure = self._fork_on_status(cond_states, "loop-condition")
+                if node.until:
+                    success, failure = failure, success
+                exits.extend(failure)
+                if iteration < self.max_loop:
+                    for s in success:
+                        if s.halted:
+                            exits.append(s)
+                        else:
+                            next_current.extend(self.eval(node.body, s))
+                else:
+                    # iteration budget exhausted: assume the loop ends
+                    for s in success:
+                        s.note("loop truncated at iteration bound")
+                        exits.append(s)
+            current = self._prune(next_current)
+            if not current:
+                break
+        for st in exits:
+            if st.status is None:
+                st.status = 0
+        return self._apply_redirect_list(node.redirects, exits)
+
+    def eval_for(self, node: For, state: SymState) -> List[SymState]:
+        if node.words is None:
+            values_per_state = [(state, list(state.params[1:]))]
+        else:
+            values_per_state = expand_words(node.words, state, self)
+        results: List[SymState] = []
+        for st, values in values_per_state:
+            states = [st]
+            if not values:
+                for s in states:
+                    s.status = 0
+                results.extend(states)
+                continue
+            for value in values[: self.max_loop + 1]:
+                next_states = []
+                for s in states:
+                    if s.halted:
+                        next_states.append(s)
+                        continue
+                    s.set_var(node.var, value)
+                    next_states.extend(self.eval(node.body, s))
+                states = self._prune(next_states)
+            results.extend(states)
+        return self._apply_redirect_list(node.redirects, results)
+
+    def eval_case(self, node: Case, state: SymState) -> List[SymState]:
+        results: List[SymState] = []
+        for subj_state, subject in expand_word(node.subject, state, self):
+            subject_lang = subject.to_regex(subj_state.store)
+            remaining = subject_lang
+            vid = subject.single_var()
+            for item in node.items:
+                pattern_lang: Optional[Regex] = None
+                static = True
+                for pattern in item.patterns:
+                    lang = word_pattern_to_regex(pattern)
+                    if lang is None:
+                        static = False
+                        break
+                    pattern_lang = lang if pattern_lang is None else pattern_lang | lang
+                if not static:
+                    # dynamic pattern: may or may not match; explore the body
+                    taken = subj_state.fork(note="case: dynamic pattern taken")
+                    if item.body is not None:
+                        results.extend(self.eval(item.body, taken))
+                    else:
+                        results.append(taken.with_status(0))
+                    continue
+
+                feasible_lang = remaining & pattern_lang
+                feasible = not feasible_lang.is_empty()
+                for checker in self.checkers:
+                    # report against the *original* subject language so a
+                    # pattern shadowed by earlier arms is not misreported
+                    original_feasible = not (subject_lang & pattern_lang).is_empty()
+                    checker.on_case_arm(subj_state, node, item, original_feasible, True)
+                if not feasible:
+                    continue
+                taken = subj_state.fork(
+                    note=f"case: matched {'|'.join(w.raw for w in item.patterns)}"
+                )
+                if vid is not None:
+                    # the subject matched this arm AND fell through all
+                    # earlier arms: refine with the remaining language
+                    taken.store.refine(vid, feasible_lang)
+                if item.body is not None:
+                    results.extend(self.eval(item.body, taken))
+                else:
+                    results.append(taken.with_status(0))
+                remaining = remaining - pattern_lang
+                if remaining.is_empty():
+                    break
+            if not remaining.is_empty():
+                fallthrough = subj_state.fork(note="case: no pattern matched")
+                if vid is not None:
+                    fallthrough.store.refine(vid, remaining)
+                fallthrough.status = 0
+                results.append(fallthrough)
+        return self._apply_redirect_list(node.redirects, results)
+
+    # -- state management -----------------------------------------------------------------
+
+    def _prune(self, states: List[SymState]) -> List[SymState]:
+        if len(states) <= 1:
+            return states
+        if self.prune:
+            merged: Dict[tuple, SymState] = {}
+            order: List[SymState] = []
+            for st in states:
+                key = (
+                    st.status,
+                    st.halted,
+                    tuple(sorted((k, v) for k, v in st.env.items())),
+                    tuple(st.params),
+                    st.cwd_str,
+                    len(st.stdout) if st.capturing else 0,
+                    st.store.identity_key(),
+                )
+                if key in merged:
+                    self.paths_merged += 1
+                    # keep the first; append its diagnostics so none are lost
+                    merged[key].diagnostics.extend(
+                        d for d in st.diagnostics
+                        if d not in merged[key].diagnostics
+                    )
+                else:
+                    merged[key] = st
+                    order.append(st)
+            states = order
+        if len(states) > self.max_fork:
+            states = states[: self.max_fork]
+        return states
+
+
+class _DiagSink:
+    """A state-like receiver for run-level (cross-path) diagnostics."""
+
+    def __init__(self):
+        self.diagnostics: List[Diagnostic] = []
+
+    def warn(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+
+def _assigned_names(ast: Command) -> set:
+    """Names assigned anywhere in a script (incl. for vars, read/export)."""
+    from ..shell.ast import For, walk
+
+    names = set()
+    for node in walk(ast):
+        if isinstance(node, SimpleCommand):
+            for assignment in node.assignments:
+                names.add(assignment.name)
+            if node.name in ("read", "export", "local", "readonly", "unset") and node.words:
+                for word in node.words[1:]:
+                    text = word.literal_text() or ""
+                    if text and not text.startswith("-"):
+                        names.add(text.split("=", 1)[0])
+        elif isinstance(node, For):
+            names.add(node.var)
+    return names
+
+
+def _static_argv(stage: Command) -> Optional[List[str]]:
+    """The concrete argv of a pipeline stage, when fully static."""
+    if not isinstance(stage, SimpleCommand):
+        return None
+    argv = []
+    for word in stage.words:
+        # a purely literal word (quotes removed) is static
+        text_parts = []
+        for part in word.parts:
+            from ..shell.ast import LiteralPart
+
+            if isinstance(part, LiteralPart):
+                text_parts.append(part.text)
+            else:
+                return None
+        argv.append("".join(text_parts))
+    return argv if argv else None

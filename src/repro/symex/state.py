@@ -1,0 +1,216 @@
+"""Symbolic program states.
+
+A :class:`SymState` is one point in the explored execution tree: the
+shell environment (variables, positional parameters, functions), the
+working directory, the symbolic file system, the regular-language
+constraint store, the last exit status, any captured stdout, the path
+condition (as human-readable notes), and diagnostics collected so far.
+Forking copies cheaply; the heavyweight members (fs nodes, constraints)
+are copy-on-write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..diag import Diagnostic
+from ..fs import FileSystem
+from ..rlang import Regex
+from ..rtypes import StreamType
+from ..shell.ast import Command
+from ..symstr import ConstraintStore, SymString
+
+#: Exit status: a known small integer, or None when unknown/symbolic.
+Status = Optional[int]
+
+STATUS_UNKNOWN: Status = None
+
+
+@dataclass
+class StdoutChunk:
+    """A piece of captured standard output.
+
+    Either concrete-ish ``text`` (a SymString) or a stream of lines with
+    a regular ``stream`` type (from a pipeline or an opaque command).
+    """
+
+    text: Optional[SymString] = None
+    stream: Optional[StreamType] = None
+
+    @classmethod
+    def of_text(cls, text: SymString) -> "StdoutChunk":
+        return cls(text=text)
+
+    @classmethod
+    def of_stream(cls, stream: StreamType) -> "StdoutChunk":
+        return cls(stream=stream)
+
+
+class SymState:
+    __slots__ = (
+        "env",
+        "params",
+        "functions",
+        "cwd_node",
+        "cwd_str",
+        "fs",
+        "store",
+        "status",
+        "stdout",
+        "notes",
+        "diagnostics",
+        "halted",
+        "depth",
+        "capturing",
+        "options",
+    )
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, SymString]] = None,
+        params: Optional[List[SymString]] = None,
+        functions: Optional[Dict[str, Command]] = None,
+        cwd_node: Optional[int] = None,
+        cwd_str: Optional[SymString] = None,
+        fs: Optional[FileSystem] = None,
+        store: Optional[ConstraintStore] = None,
+        status: Status = 0,
+        stdout: Optional[List[StdoutChunk]] = None,
+        notes: Optional[List[str]] = None,
+        diagnostics: Optional[List[Diagnostic]] = None,
+        halted: bool = False,
+        depth: int = 0,
+        capturing: bool = False,
+        options: "Optional[set]" = None,
+    ):
+        self.env = dict(env or {})
+        self.params = list(params or [])
+        self.functions = dict(functions or {})
+        self.fs = fs if fs is not None else FileSystem()
+        self.store = store if store is not None else ConstraintStore()
+        self.cwd_node = cwd_node
+        self.cwd_str = cwd_str if cwd_str is not None else SymString.lit("/")
+        self.status = status
+        self.stdout = list(stdout or [])
+        self.notes = list(notes or [])
+        self.diagnostics = list(diagnostics or [])
+        self.halted = halted
+        self.depth = depth
+        #: True while stdout is being captured for a command substitution;
+        #: outside capture, stdout content is irrelevant to state identity
+        self.capturing = capturing
+        #: shell options in effect: "e" (errexit), "u" (nounset), ...
+        self.options = set(options or ())
+
+    # -- forking -----------------------------------------------------------
+
+    def fork(self, note: str = "") -> "SymState":
+        child = SymState(
+            env=self.env,
+            params=self.params,
+            functions=self.functions,
+            cwd_node=self.cwd_node,
+            cwd_str=self.cwd_str,
+            fs=self.fs.fork(),
+            store=self.store.fork(),
+            status=self.status,
+            stdout=self.stdout,
+            notes=self.notes,
+            diagnostics=self.diagnostics,
+            halted=self.halted,
+            depth=self.depth,
+            capturing=self.capturing,
+            options=self.options,
+        )
+        if note:
+            child.notes.append(note)
+        return child
+
+    # -- environment --------------------------------------------------------
+
+    def get_var(self, name: str) -> Optional[SymString]:
+        """Value of a variable or special parameter; None when unset."""
+        if name.isdigit():
+            idx = int(name)
+            if idx < len(self.params):
+                return self.params[idx]
+            return None
+        if name == "?":
+            if self.status is None:
+                vid = self.store.fresh(
+                    Regex.compile("[0-9]{1,3}"), label="$? (unknown)"
+                )
+                return SymString.var(vid)
+            return SymString.lit(str(self.status))
+        if name == "#":
+            return SymString.lit(str(max(0, len(self.params) - 1)))
+        if name == "PWD":
+            return self.cwd_str
+        if name in ("@", "*"):
+            # joined positionals (field splitting is out of scope)
+            joined = SymString.empty()
+            for idx, param in enumerate(self.params[1:]):
+                if idx:
+                    joined = joined + SymString.lit(" ")
+                joined = joined + param
+            return joined
+        if name == "$":
+            return SymString.lit("12345")  # a fixed abstract pid
+        return self.env.get(name)
+
+    def set_var(self, name: str, value: SymString) -> None:
+        if name == "PWD":
+            self.cwd_str = value
+        self.env[name] = value
+
+    def unset_var(self, name: str) -> None:
+        self.env.pop(name, None)
+
+    # -- status ------------------------------------------------------------------
+
+    def with_status(self, status: Status) -> "SymState":
+        self.status = status
+        return self
+
+    def succeeded(self) -> Optional[bool]:
+        """True/False when the status is known, None when symbolic."""
+        if self.status is None:
+            return None
+        return self.status == 0
+
+    # -- output -------------------------------------------------------------------
+
+    def emit_text(self, text: SymString) -> None:
+        self.stdout.append(StdoutChunk.of_text(text))
+
+    def emit_stream(self, stream: StreamType) -> None:
+        self.stdout.append(StdoutChunk.of_stream(stream))
+
+    def stdout_value(self) -> Tuple[SymString, bool]:
+        """Captured stdout as a value for command substitution.
+
+        Returns ``(value, exact)``; when any chunk is a stream, the value
+        degrades to a fresh unconstrained-ish variable created by the
+        caller — here we signal with ``exact=False``.
+        """
+        if any(chunk.stream is not None for chunk in self.stdout):
+            return SymString.empty(), False
+        value = SymString.empty()
+        for chunk in self.stdout:
+            value = value + chunk.text
+        return value, True
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def warn(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def __repr__(self) -> str:
+        return (
+            f"SymState(status={self.status}, vars={sorted(self.env)}, "
+            f"notes={len(self.notes)})"
+        )

@@ -1,0 +1,17 @@
+"""Symbolic string values and their regular-language constraints."""
+
+from .ops import ExpansionCase, strip_prefix, strip_suffix
+from .store import ConstraintStore
+from .value import Atom, GlobAtom, LitAtom, SymString, VarAtom
+
+__all__ = [
+    "SymString",
+    "LitAtom",
+    "VarAtom",
+    "GlobAtom",
+    "Atom",
+    "ConstraintStore",
+    "ExpansionCase",
+    "strip_suffix",
+    "strip_prefix",
+]

@@ -1,0 +1,162 @@
+"""Symbolic semantics of the ``${var%pat}`` expansion-operator family.
+
+Concrete values get exact POSIX semantics; symbolic values produce *case
+splits*: e.g. ``${0%/*}`` on a path-constrained ``$0`` yields one case
+where the suffix matched (result = a quotient-constrained fresh
+variable, and ``$0`` is refined to contain a ``/``) and one where it did
+not (result unchanged, ``$0`` refined to be slash-free).  This is exactly
+the two-outcome analysis the paper walks through for the Steam bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..rlang import Regex
+from .store import ConstraintStore
+from .value import SymString
+
+
+@dataclass
+class ExpansionCase:
+    """One outcome of a symbolic expansion.
+
+    ``refinements`` narrow existing variables in the forked path where
+    this case holds; ``note`` documents the case for diagnostics.
+    """
+
+    result: SymString
+    refinements: List[Tuple[int, Regex]] = field(default_factory=list)
+    note: str = ""
+
+
+_ANY = None  # lazily built Σ*
+
+
+def _any() -> Regex:
+    global _ANY
+    if _ANY is None:
+        _ANY = Regex.any_string()
+    return _ANY
+
+
+def strip_suffix(
+    value: SymString,
+    pattern: Regex,
+    longest: bool,
+    store: ConstraintStore,
+) -> List[ExpansionCase]:
+    """``${v%pat}`` / ``${v%%pat}``."""
+    concrete = value.concrete_value()
+    if concrete is not None:
+        return [ExpansionCase(SymString.lit(_concrete_suffix(concrete, pattern, longest)))]
+
+    suffixed = _any() + pattern  # Σ*·pat : strings ending in a match
+    vid = value.single_var()
+    if vid is not None:
+        constraint = store.constraint(vid)
+        cases = []
+        no_match = constraint - suffixed
+        if not no_match.is_empty():
+            cases.append(
+                ExpansionCase(
+                    value,
+                    refinements=[(vid, no_match)],
+                    note="suffix pattern did not match",
+                )
+            )
+        matched = constraint & suffixed
+        if not matched.is_empty():
+            quotient = matched.strip_suffix(pattern)
+            result_vid = store.fresh(
+                quotient,
+                label=f"{store.label(vid)}%",
+                provenance=("strip_suffix", vid),
+            )
+            cases.append(
+                ExpansionCase(
+                    SymString.var(result_vid),
+                    refinements=[(vid, matched)],
+                    note="suffix pattern matched",
+                )
+            )
+        return cases
+
+    # Mixed literal/variable value: a single over-approximating case.
+    lang = value.to_regex(store)
+    approx = lang.strip_suffix(pattern) | (lang - suffixed)
+    result_vid = store.fresh(approx, label="strip%")
+    return [ExpansionCase(SymString.var(result_vid), note="over-approximated strip")]
+
+
+def strip_prefix(
+    value: SymString,
+    pattern: Regex,
+    longest: bool,
+    store: ConstraintStore,
+) -> List[ExpansionCase]:
+    """``${v#pat}`` / ``${v##pat}``."""
+    concrete = value.concrete_value()
+    if concrete is not None:
+        return [ExpansionCase(SymString.lit(_concrete_prefix(concrete, pattern, longest)))]
+
+    prefixed = pattern + _any()
+    vid = value.single_var()
+    if vid is not None:
+        constraint = store.constraint(vid)
+        cases = []
+        no_match = constraint - prefixed
+        if not no_match.is_empty():
+            cases.append(
+                ExpansionCase(
+                    value,
+                    refinements=[(vid, no_match)],
+                    note="prefix pattern did not match",
+                )
+            )
+        matched = constraint & prefixed
+        if not matched.is_empty():
+            quotient = matched.strip_prefix(pattern)
+            result_vid = store.fresh(
+                quotient,
+                label=f"{store.label(vid)}#",
+                provenance=("strip_prefix", vid),
+            )
+            cases.append(
+                ExpansionCase(
+                    SymString.var(result_vid),
+                    refinements=[(vid, matched)],
+                    note="prefix pattern matched",
+                )
+            )
+        return cases
+
+    lang = value.to_regex(store)
+    approx = lang.strip_prefix(pattern) | (lang - prefixed)
+    result_vid = store.fresh(approx, label="strip#")
+    return [ExpansionCase(SymString.var(result_vid), note="over-approximated strip")]
+
+
+def _concrete_suffix(text: str, pattern: Regex, longest: bool) -> str:
+    """Exact POSIX suffix-strip on a concrete string."""
+    if longest:
+        indices = range(0, len(text) + 1)  # earliest start = longest suffix
+    else:
+        indices = range(len(text), -1, -1)  # latest start = smallest suffix
+    for idx in indices:
+        if pattern.matches(text[idx:]):
+            return text[:idx]
+    return text
+
+
+def _concrete_prefix(text: str, pattern: Regex, longest: bool) -> str:
+    """Exact POSIX prefix-strip on a concrete string."""
+    if longest:
+        indices = range(len(text), -1, -1)  # longest prefix first
+    else:
+        indices = range(0, len(text) + 1)
+    for idx in indices:
+        if pattern.matches(text[:idx]):
+            return text[idx:]
+    return text

@@ -1,0 +1,102 @@
+"""Constraint store: symbolic string variables and their refinements.
+
+Each symbolic variable is an integer id with a regular-language
+constraint describing its possible values (paper §3: "generate and track
+relevant constraints on state").  Stores are forked cheaply when symbolic
+execution branches; refinement narrows a variable's constraint along one
+path without affecting sibling paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..rlang import Regex
+
+_ids = itertools.count(1)
+
+#: Provenance tags record how a derived variable was computed, enabling
+#: relational refinement (e.g. a branch on ``$(realpath X)`` refines X).
+Provenance = Tuple[str, object]
+
+
+class ConstraintStore:
+    """Mapping var-id -> (constraint, label, provenance), fork-friendly."""
+
+    __slots__ = ("_constraints", "_labels", "_provenance")
+
+    def __init__(
+        self,
+        constraints: Optional[Dict[int, Regex]] = None,
+        labels: Optional[Dict[int, str]] = None,
+        provenance: Optional[Dict[int, Provenance]] = None,
+    ):
+        self._constraints: Dict[int, Regex] = dict(constraints or {})
+        self._labels: Dict[int, str] = dict(labels or {})
+        self._provenance: Dict[int, Provenance] = dict(provenance or {})
+
+    def fork(self) -> "ConstraintStore":
+        return ConstraintStore(self._constraints, self._labels, self._provenance)
+
+    def fresh(
+        self,
+        constraint: Optional[Regex] = None,
+        label: str = "",
+        provenance: Optional[Provenance] = None,
+    ) -> int:
+        vid = next(_ids)
+        self._constraints[vid] = (
+            constraint if constraint is not None else Regex.any_string()
+        )
+        if label:
+            self._labels[vid] = label
+        if provenance is not None:
+            self._provenance[vid] = provenance
+        return vid
+
+    def constraint(self, vid: int) -> Regex:
+        return self._constraints[vid]
+
+    def label(self, vid: int) -> str:
+        return self._labels.get(vid, f"v{vid}")
+
+    def provenance(self, vid: int) -> Optional[Provenance]:
+        return self._provenance.get(vid)
+
+    def refine(self, vid: int, constraint: Regex) -> Regex:
+        """Intersect a variable's constraint; returns the new constraint.
+
+        An empty result means the current path is infeasible — callers
+        check :meth:`is_feasible` after refining.
+        """
+        refined = self._constraints[vid] & constraint
+        self._constraints[vid] = refined
+        return refined
+
+    def exclude(self, vid: int, constraint: Regex) -> Regex:
+        """Subtract a language from a variable's constraint."""
+        refined = self._constraints[vid] - constraint
+        self._constraints[vid] = refined
+        return refined
+
+    def is_feasible(self, vid: int) -> bool:
+        return not self._constraints[vid].is_empty()
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._constraints
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def identity_key(self) -> tuple:
+        """A cheap digest for state merging: constraint *object identity*
+        per variable.  Forked stores share Regex objects until a
+        refinement replaces one, so two states merge only when every
+        variable carries literally the same constraint object — sound
+        (never conflates differently-refined worlds), and precise enough
+        because refinements are the only mutations."""
+        return tuple(
+            (vid, id(constraint))
+            for vid, constraint in sorted(self._constraints.items())
+        )

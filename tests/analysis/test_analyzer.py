@@ -1,0 +1,116 @@
+"""Unit tests for the top-level analyzer and annotations."""
+
+import pytest
+
+from repro.analysis import AnnotationError, analyze, parse_annotations
+from repro.diag import Severity
+
+
+class TestAnalyze:
+    def test_clean_script(self):
+        report = analyze("echo hello | sort | head -n 3")
+        assert report.ok
+        assert not report.unsafe
+
+    def test_steam_bug_unsafe(self):
+        report = analyze(
+            'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr "$STEAMROOT"/*\n'
+        )
+        assert report.unsafe
+        assert report.has("dangerous-deletion")
+
+    def test_syntax_error_reported(self):
+        report = analyze("if true; then")
+        assert report.has("syntax-error")
+        assert report.unsafe
+
+    def test_render_contains_summary(self):
+        text = analyze("echo hi").render()
+        assert "error(s)" in text and "state(s)" in text
+
+    def test_lint_merge(self):
+        report = analyze("rm $FILE", include_lint=True)
+        assert any(d.source == "lint" for d in report.diagnostics)
+
+    def test_no_lint_by_default(self):
+        report = analyze("rm $FILE")
+        assert not any(d.source == "lint" for d in report.diagnostics)
+
+    def test_severity_buckets(self):
+        report = analyze('rm -rf /\n')
+        assert report.errors()
+        assert all(d.severity is Severity.ERROR for d in report.errors())
+
+
+class TestAnnotations:
+    def test_var_named_type(self):
+        annotations = parse_annotations("# @var X : path\necho $X")
+        assert "X" in annotations.variables
+        assert annotations.variables["X"].matches("/a/b")
+
+    def test_var_inline_regex(self):
+        annotations = parse_annotations("# @var V : [0-9]+\n")
+        assert annotations.variables["V"].matches("42")
+        assert not annotations.variables["V"].matches("x")
+
+    def test_args(self):
+        assert parse_annotations("# @args 3\n").n_args == 3
+
+    def test_platforms(self):
+        assert parse_annotations("# @platforms linux macos\n").platforms == [
+            "linux",
+            "macos",
+        ]
+
+    def test_type_annotation(self):
+        annotations = parse_annotations("# @type frob :: .* -> [0-9]+\n")
+        assert "frob" in annotations.signatures
+
+    def test_bad_annotation_raises(self):
+        with pytest.raises(AnnotationError):
+            parse_annotations("# @nonsense stuff\n")
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(AnnotationError):
+            parse_annotations("# @var X : [unclosed\n")
+
+    def test_plain_comments_ignored(self):
+        annotations = parse_annotations("# just a comment\n#!/bin/sh\n")
+        assert annotations.is_empty()
+
+
+class TestAnnotationsDriveAnalysis:
+    def test_var_constraint_used(self):
+        # constrained to a subdirectory-shaped path: deletion is deep
+        source = '# @var TARGET : /opt/[a-z]+/[a-z]+\nrm -rf "$TARGET"\n'
+        report = analyze(source)
+        assert not report.has("dangerous-deletion")
+
+    def test_unconstrained_var_flags(self):
+        report = analyze('TARGET=$1\nrm -rf "$TARGET"\n', n_args=1)
+        assert report.has("dangerous-deletion")
+
+    def test_args_annotation_controls_params(self):
+        report = analyze('# @args 1\nrm -rf "$1"\n')
+        assert report.has("dangerous-deletion")
+
+    def test_platforms_annotation_enables_checks(self):
+        report = analyze("# @platforms macos\nsed -i s/a/b/ f\n")
+        assert report.has("platform-flag")
+
+    def test_type_annotation_overrides_pipeline(self):
+        # annotate an unknown command so the pipeline becomes typeable
+        source = (
+            "# @type frobnicate :: .* -> [0-9]+\n"
+            "frobnicate | sort -n\n"
+        )
+        report = analyze(source)
+        assert not report.has("untyped-command")
+
+    def test_type_annotation_catches_mismatch(self):
+        source = (
+            "# @type frobnicate :: .* -> [a-z]+\n"
+            "frobnicate | sort -g\n"
+        )
+        report = analyze(source)
+        assert report.has("stream-type-error")

@@ -1,0 +1,85 @@
+"""Unit tests for the diagnostics module and report rendering."""
+
+from repro.diag import Diagnostic, Severity, dedupe
+from repro.shell.tokens import Position
+
+
+def diag(code="x", message="m", severity=Severity.WARNING, line=1, always=False):
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=severity,
+        pos=Position(line, 1),
+        always=always,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert not (Severity.ERROR < Severity.INFO)
+
+
+class TestDiagnostic:
+    def test_render_contains_parts(self):
+        text = diag(code="dead-stream", message="gone", always=True).render()
+        assert "dead-stream" in text
+        assert "always" in text
+        assert "gone" in text
+
+    def test_render_may_modality(self):
+        assert "(may)" in diag().render()
+
+    def test_witness_rendered(self):
+        d = Diagnostic(code="c", message="m", witness="/tmp/x")
+        assert "/tmp/x" in d.render()
+
+
+class TestDedupe:
+    def test_drops_duplicates(self):
+        items = [diag(), diag(), diag(code="other")]
+        assert len(dedupe(items)) == 2
+
+    def test_prefers_always(self):
+        items = [diag(always=False), diag(always=True)]
+        [kept] = dedupe(items)
+        assert kept.always
+
+    def test_keeps_distinct_positions(self):
+        items = [diag(line=1), diag(line=2)]
+        assert len(dedupe(items)) == 2
+
+    def test_order_stable(self):
+        items = [diag(code="b"), diag(code="a")]
+        assert [d.code for d in dedupe(items)] == ["b", "a"]
+
+
+class TestReportRendering:
+    def test_sorted_by_position(self):
+        from repro.analysis.report import Report
+
+        report = Report(
+            source="",
+            diagnostics=[diag(code="late", line=9), diag(code="early", line=2)],
+        )
+        text = report.render()
+        assert text.index("early") < text.index("late")
+
+    def test_min_severity_filter(self):
+        from repro.analysis.report import Report
+
+        report = Report(
+            source="",
+            diagnostics=[
+                diag(code="noise", severity=Severity.INFO),
+                diag(code="real", severity=Severity.ERROR),
+            ],
+        )
+        text = report.render(min_severity=Severity.ERROR)
+        assert "real" in text and "noise" not in text
+
+    def test_summary_line(self):
+        from repro.analysis.report import Report
+
+        report = Report(source="", diagnostics=[diag(severity=Severity.ERROR)])
+        assert "1 error(s)" in report.render()

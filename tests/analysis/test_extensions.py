@@ -1,0 +1,168 @@
+"""Unit tests for the §5 extensions: dependencies, fixes, visualization."""
+
+import pytest
+
+from repro.analysis.deps import analyze_dependencies
+from repro.analysis.fixes import (
+    apply_fixes,
+    suggest_fixes,
+    synthesize_prologue,
+)
+from repro.analysis.viz import behaviour_summary, explore, render_tree
+
+
+class TestDependencies:
+    def test_flow_dependency(self):
+        graph = analyze_dependencies(
+            "grep E /l/a >/out/a.txt\ncat /out/a.txt\n"
+        )
+        assert graph.must_precede(0, 1)
+
+    def test_independent_commands(self):
+        graph = analyze_dependencies(
+            "grep E /l/a >/o/a.txt\ngrep E /l/b >/o/b.txt\n"
+        )
+        assert (0, 1) in graph.independent_pairs()
+
+    def test_mkdir_before_write(self):
+        graph = analyze_dependencies("mkdir -p /out\ntouch /out/f\n")
+        assert graph.must_precede(0, 1)
+
+    def test_variable_dependency(self):
+        graph = analyze_dependencies("X=$(cat /a)\necho $X >/b\n")
+        assert graph.must_precede(0, 1)
+
+    def test_anti_dependency(self):
+        graph = analyze_dependencies("cat /data\nrm -f /data\n")
+        assert graph.must_precede(0, 1)
+
+    def test_output_dependency(self):
+        graph = analyze_dependencies("echo a >/f\necho b >/f\n")
+        assert graph.must_precede(0, 1)
+
+    def test_parallel_schedule_stages(self):
+        graph = analyze_dependencies(
+            "mkdir -p /out\n"
+            "grep E /l/a >/out/a\n"
+            "grep E /l/b >/out/b\n"
+            "cat /out/a\n"
+        )
+        stages = graph.stages()
+        assert stages[0] == [0]
+        assert set(stages[1]) == {1, 2}
+        assert stages[2] == [3]
+
+    def test_unknown_command_is_barrier(self):
+        graph = analyze_dependencies("frobnicate\necho done >/log\n")
+        assert graph.must_precede(0, 1)
+
+    def test_render(self):
+        graph = analyze_dependencies("touch /a\ncat /a\n")
+        text = graph.render()
+        assert "schedule:" in text and "flow" in text
+
+
+class TestFixes:
+    def test_mkdir_fix_applies(self):
+        source = "mkdir /opt/app\n"
+        fixes = suggest_fixes(source)
+        assert any(f.applicable for f in fixes)
+        fixed = apply_fixes(source, fixes)
+        assert "mkdir -p /opt/app" in fixed
+
+    def test_ln_fix_applies(self):
+        source = "ln -s /a /b\n"
+        fixed = apply_fixes(source, suggest_fixes(source))
+        assert "ln -sf" in fixed
+
+    def test_fixed_script_is_cleaner(self):
+        from repro.analysis import analyze
+
+        source = "mkdir /opt/app\nln -s /a /b\n"
+        fixed = apply_fixes(source, suggest_fixes(source))
+        assert len(analyze(fixed).by_code("idempotence")) == 0
+
+    def test_dangerous_deletion_guard_hint(self):
+        source = 'rm -rf "$TARGET"/cache\n'
+        fixes = suggest_fixes(source)
+        guard = [f for f in fixes if f.code == "dangerous-deletion"]
+        assert guard and "realpath" in guard[0].description
+        assert "TARGET" in guard[0].description
+
+    def test_platform_hint(self):
+        source = "# @platforms macos\nsed -i s/a/b/ f\n"
+        fixes = suggest_fixes(source)
+        hints = [f for f in fixes if f.code == "platform-flag"]
+        assert hints and "temporary file" in hints[0].description
+
+    def test_non_applicable_fixes_not_applied(self):
+        source = 'rm -rf "$X"/y\n'
+        assert apply_fixes(source, suggest_fixes(source)) == source
+
+
+class TestPrologue:
+    def test_utility_checks(self):
+        prologue = synthesize_prologue("frobnicate --init\n")
+        assert "frobnicate" in prologue.utility_checks
+        assert "command -v frobnicate" in prologue.render()
+
+    def test_path_checks(self):
+        prologue = synthesize_prologue("cat /etc/app.conf\n")
+        assert "/etc/app.conf" in prologue.path_checks
+
+    def test_created_paths_not_checked(self):
+        prologue = synthesize_prologue("touch /tmp/f\ncat /tmp/f\n")
+        assert "/tmp/f" not in prologue.path_checks
+
+    def test_env_checks(self):
+        prologue = synthesize_prologue('echo "$DEPLOY_TOKEN"\n')
+        assert "DEPLOY_TOKEN" in prologue.env_checks
+        assert "${DEPLOY_TOKEN:?" in prologue.render()
+
+    def test_known_commands_not_checked(self):
+        prologue = synthesize_prologue("grep x f | sort\n")
+        assert "grep" not in prologue.utility_checks
+        assert "sort" not in prologue.utility_checks
+
+    def test_empty_prologue(self):
+        prologue = synthesize_prologue("echo hello\n")
+        assert prologue.is_empty()
+
+    def test_prologue_script_is_parseable(self):
+        from repro.shell import parse
+
+        prologue = synthesize_prologue("frobnicate\ncat /etc/x\necho $TOK\n")
+        parse(prologue.render())  # must be valid shell
+
+
+class TestViz:
+    FIG1 = 'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr "$STEAMROOT"/*\n'
+
+    def test_explore_worlds(self):
+        views = explore(self.FIG1)
+        assert len(views) >= 2
+        # some world shows the empty STEAMROOT
+        assert any(v.variables.get("STEAMROOT") == "''" for v in views)
+
+    def test_conditions_recorded(self):
+        views = explore(self.FIG1)
+        all_conditions = [c for v in views for c in v.conditions]
+        assert any("cd" in c and "failure" in c for c in all_conditions)
+
+    def test_findings_attached_to_paths(self):
+        views = explore(self.FIG1)
+        flagged = [v for v in views if v.findings]
+        assert flagged
+
+    def test_render_tree(self):
+        text = render_tree(self.FIG1)
+        assert "execution world" in text
+        assert "when" in text
+
+    def test_behaviour_summary(self):
+        text = behaviour_summary("touch /a\nrm -f /a\n")
+        assert "may create" in text and "may delete" in text
+
+    def test_max_paths_respected(self):
+        views = explore(self.FIG1, max_paths=1)
+        assert len(views) == 1

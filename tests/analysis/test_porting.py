@@ -1,0 +1,71 @@
+"""Unit tests for automatic platform porting (§5)."""
+
+from repro.analysis import analyze
+from repro.analysis.fixes import port_script
+
+
+class TestPortScript:
+    def test_sed_i_rewritten(self):
+        result = port_script("sed -i s/a/b/ file.txt\n")
+        assert "sed s/a/b/ file.txt > file.txt.tmp" in result.source
+        assert "mv file.txt.tmp file.txt" in result.source
+
+    def test_readlink_f(self):
+        result = port_script("ROOT=$(readlink -f .)\n")
+        assert "realpath" in result.source
+        assert "readlink" not in result.source
+
+    def test_date_iso(self):
+        result = port_script("STAMP=$(date -I)\n")
+        assert "date +%F" in result.source
+
+    def test_ls_color_dropped(self):
+        result = port_script("ls --color=auto /tmp\n")
+        assert "--color" not in result.source
+
+    def test_grep_p_simple_pattern(self):
+        result = port_script("grep -P 'abc' f\n")
+        assert "grep -E" in result.source
+
+    def test_grep_p_perl_pattern_kept(self):
+        result = port_script("grep -P 'a(?=b)' f\n")
+        assert "grep -P" in result.source
+        assert result.unresolved
+
+    def test_unresolvable_reported(self):
+        result = port_script("date -d yesterday\n")
+        assert not result.fully_portable
+        assert any("date -d" in u for u in result.unresolved)
+
+    def test_ported_script_passes_platform_check(self):
+        source = "sed -i s/a/b/ f.txt\nROOT=$(readlink -f .)\n"
+        result = port_script(source, target="macos")
+        assert result.fully_portable
+        report = analyze(result.source, platform_targets=["macos"])
+        assert not report.has("platform-flag")
+
+    def test_ported_script_still_parses(self):
+        from repro.shell import parse
+
+        result = port_script("sed -i s/a/b/ f\nls --color x\n")
+        parse(result.source)
+
+    def test_portable_input_untouched(self):
+        source = "grep x f | sort | head -n 2\n"
+        result = port_script(source)
+        assert result.source == source
+        assert not result.rewrites
+
+
+class TestUnreachableChecker:
+    def test_code_after_exit(self):
+        report = analyze("exit 1\nrm -rf /x\n")
+        assert report.has("unreachable-command")
+
+    def test_conditional_exit_ok(self):
+        report = analyze("if [ -f /x ]; then exit 1; fi\necho on\n")
+        assert not report.has("unreachable-command")
+
+    def test_code_after_guaranteed_abort(self):
+        report = analyze('X=1\nunset X\nset -u\necho "$X"\necho never\n')
+        assert report.has("unreachable-command")

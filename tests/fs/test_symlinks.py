@@ -1,0 +1,96 @@
+"""Unit tests for symlink aliasing (§4 "path aliasing")."""
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.fs import Existence, FileSystem, FsContradiction, NodeKind, parse_sympath
+from repro.symex import Engine
+from repro.symstr import SymString
+
+
+def path_of(text):
+    return parse_sympath(SymString.lit(text))
+
+
+class TestFsSymlinks:
+    def test_make_symlink(self):
+        fs = FileSystem()
+        real = fs.resolve(path_of("/data/real"))
+        fs.assume_exists(real, NodeKind.DIR)
+        alias = fs.resolve(path_of("/tmp/alias"))
+        fs.make_symlink(alias, real)
+        assert fs.kind(alias) is NodeKind.SYMLINK
+
+    def test_resolution_through_symlink(self):
+        fs = FileSystem()
+        real = fs.resolve(path_of("/data/real"))
+        fs.assume_exists(real, NodeKind.DIR)
+        alias = fs.resolve(path_of("/tmp/alias"))
+        fs.make_symlink(alias, real)
+        via_alias = fs.resolve(path_of("/tmp/alias/file"))
+        via_real = fs.resolve(path_of("/data/real/file"))
+        assert via_alias == via_real
+
+    def test_resolve_final_follows_terminal_link(self):
+        fs = FileSystem()
+        real = fs.resolve(path_of("/data/real"))
+        fs.assume_exists(real, NodeKind.DIR)
+        alias = fs.resolve(path_of("/tmp/alias"))
+        fs.make_symlink(alias, real)
+        assert fs.resolve_final(path_of("/tmp/alias")) == real
+        assert fs.resolve(path_of("/tmp/alias")) == alias
+
+    def test_chain_of_links(self):
+        fs = FileSystem()
+        real = fs.resolve(path_of("/a"))
+        fs.assume_exists(real, NodeKind.DIR)
+        l1 = fs.resolve(path_of("/l1"))
+        fs.make_symlink(l1, real)
+        l2 = fs.resolve(path_of("/l2"))
+        fs.make_symlink(l2, l1)
+        assert fs.resolve(path_of("/l2/x")) == fs.resolve(path_of("/a/x"))
+
+    def test_cycle_is_bounded(self):
+        fs = FileSystem()
+        a = fs.resolve(path_of("/a"))
+        b = fs.resolve(path_of("/b"))
+        fs.make_symlink(a, b)
+        fs.make_symlink(b, a)
+        # must terminate (no recursion blow-up)
+        fs.resolve(path_of("/a/deep"))
+
+    def test_delete_via_alias_contradicts_real(self):
+        fs = FileSystem()
+        real = fs.resolve(path_of("/data/real"))
+        fs.assume_exists(real, NodeKind.DIR)
+        alias = fs.resolve(path_of("/tmp/alias"))
+        fs.make_symlink(alias, real)
+        fs.delete(fs.resolve(path_of("/tmp/alias/store")), recursive=True)
+        with pytest.raises(FsContradiction):
+            fs.read_file(fs.resolve(path_of("/data/real/store/config")))
+
+
+class TestEngineSymlinks:
+    def test_ln_s_creates_alias(self):
+        source = (
+            "mkdir -p /data/real\n"
+            "ln -s /data/real /tmp/alias\n"
+            "rm -rf /tmp/alias/store\n"
+            "cat /data/real/store/config\n"
+        )
+        result = Engine(checkers=default_checkers()).run_script(source)
+        assert result.has("always-fails")
+
+    def test_independent_paths_fine(self):
+        source = (
+            "ln -s /data/real /tmp/alias\n"
+            "rm -rf /tmp/alias/store\n"
+            "cat /data/other/config\n"
+        )
+        result = Engine(checkers=default_checkers()).run_script(source)
+        assert not result.has("always-fails")
+
+    def test_dangling_symlink_allowed(self):
+        source = "ln -s /nonexistent /tmp/link\n"
+        result = Engine(checkers=default_checkers()).run_script(source)
+        assert not result.has("always-fails")

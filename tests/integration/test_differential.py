@@ -1,0 +1,197 @@
+"""Differential testing against a real POSIX shell.
+
+For concrete inputs, the symbolic engine's results must agree with
+/bin/sh: parameter expansion operators, test(1) outcomes, case
+dispatch, and command substitution values.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+SH = shutil.which("sh")
+
+pytestmark = pytest.mark.skipif(SH is None, reason="no /bin/sh available")
+
+
+def real_shell(script: str) -> str:
+    completed = subprocess.run(
+        [SH, "-c", script], capture_output=True, text=True, timeout=5
+    )
+    return completed.stdout
+
+
+def real_shell_status(script: str) -> int:
+    return subprocess.run(
+        [SH, "-c", script], capture_output=True, timeout=5
+    ).returncode
+
+
+def engine_value(script: str, name: str = "OUT") -> set:
+    engine = Engine(checkers=default_checkers())
+    result = engine.run_script(script)
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestExpansionOperators:
+    CASES = [
+        ("a/b/c", "%", "/*"),
+        ("a/b/c", "%%", "/*"),
+        ("a/b/c", "#", "*/"),
+        ("a/b/c", "##", "*/"),
+        ("upd.sh", "%", "/*"),
+        ("/upd.sh", "%", "/*"),
+        ("archive.tar.gz", "%", ".*"),
+        ("archive.tar.gz", "%%", ".*"),
+        ("hello", "%", "l?"),
+        ("hello", "#", "?e"),
+        ("aaa", "%", "a"),
+        ("aaa", "%%", "a*"),
+        ("x", "%", "*"),
+        ("", "%", "*"),
+        ("dir/", "%", "/*"),
+        ("a.b.c.d", "##", "*."),
+    ]
+
+    @pytest.mark.parametrize("value,op,pattern", CASES)
+    def test_strip_agrees_with_sh(self, value, op, pattern):
+        script = f'X=\'{value}\'\nOUT="${{X{op}{pattern}}}"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    DEFAULT_CASES = [
+        ("", ":-", "fallback"),
+        ("set", ":-", "fallback"),
+        ("", "-", "fallback"),
+        ("set", ":+", "alt"),
+        ("", ":+", "alt"),
+    ]
+
+    @pytest.mark.parametrize("value,op,arg", DEFAULT_CASES)
+    def test_defaults_agree_with_sh(self, value, op, arg):
+        script = f'X=\'{value}\'\nOUT="${{X{op}{arg}}}"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_assign_default(self):
+        script = 'X=\nOUT="${X:=given}"\nSECOND="$X"\n'
+        expected = real_shell(script + 'printf %s "$SECOND"\n')
+        assert engine_value(script, "SECOND") == {expected}
+
+    def test_length(self):
+        script = "X=hello\nOUT=${#X}\n"
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+
+class TestTestCommand:
+    CASES = [
+        '[ "a" = "a" ]',
+        '[ "a" = "b" ]',
+        '[ "a" != "b" ]',
+        '[ -z "" ]',
+        '[ -z "x" ]',
+        '[ -n "x" ]',
+        '[ -n "" ]',
+        "[ 3 -gt 2 ]",
+        "[ 2 -gt 3 ]",
+        "[ 5 -le 5 ]",
+        '[ "" ]',
+        '[ "word" ]',
+        '! [ "a" = "a" ]',
+        "true",
+        "false",
+        "true && false",
+        "true || false",
+        "! true",
+    ]
+
+    @pytest.mark.parametrize("expr", CASES)
+    def test_status_agrees_with_sh(self, expr):
+        expected = real_shell_status(expr)
+        engine = Engine(checkers=default_checkers())
+        result = engine.run_script(expr)
+        statuses = {s.status for s in result.states}
+        assert statuses == {expected}, expr
+
+
+class TestCaseDispatch:
+    CASES = [
+        ("hello", "h*", "other"),
+        ("hello", "x*", "other"),
+        ("a.txt", "*.txt", "*.log"),
+        ("a.log", "*.txt", "*.log"),
+        ("ab", "a?", "??"),
+        ("", "*", "x"),
+    ]
+
+    @pytest.mark.parametrize("subject,pat1,pat2", CASES)
+    def test_case_agrees_with_sh(self, subject, pat1, pat2):
+        script = (
+            f"X='{subject}'\n"
+            f"case $X in {pat1}) OUT=first ;; {pat2}) OUT=second ;; *) OUT=neither ;; esac\n"
+        )
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+
+class TestCommandSubstitution:
+    def test_echo_value(self):
+        script = 'OUT="$(echo hello world)"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_nested(self):
+        script = 'OUT="$(echo "$(echo deep)")"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_concatenation(self):
+        script = 'A=x\nOUT="pre$(echo mid)post$A"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_and_short_circuit_value(self):
+        script = 'OUT="$(false && echo yes)"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_or_rescue_value(self):
+        script = 'OUT="$(false || echo rescued)"\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+
+class TestControlFlowValues:
+    def test_if_chain(self):
+        script = 'X=b\nif [ "$X" = "a" ]; then OUT=1; elif [ "$X" = "b" ]; then OUT=2; else OUT=3; fi\n'
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}
+
+    def test_for_last_value(self):
+        script = "for f in one two three; do OUT=$f; done\n"
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        # bounded unrolling keeps the first max_loop+1 items; use a
+        # generous engine for exact agreement
+        engine = Engine(checkers=default_checkers(), max_loop=8)
+        result = engine.run_script(script)
+        values = {
+            s.get_var("OUT").concrete_value()
+            for s in result.states
+            if s.get_var("OUT") is not None
+        }
+        assert values == {expected}
+
+    def test_function_value(self):
+        script = "f() { OUT=$1; }\nf arg1\n"
+        expected = real_shell(script + 'printf %s "$OUT"\n')
+        assert engine_value(script) == {expected}

@@ -1,0 +1,148 @@
+"""End-to-end analysis of realistic multi-construct scripts.
+
+Each script mixes the constructs a real maintainer would use; the tests
+assert the complete expected finding profile — both what must be found
+and what must NOT be flagged (noise control).
+"""
+
+from repro.analysis import analyze
+from repro.diag import Severity
+
+INSTALLER = """#!/bin/sh
+# A software installer in the curl-to-sh style.
+# @args 1
+PREFIX="${1:-/usr/local}"
+
+if [ -e "$PREFIX/myapp" ]; then
+  echo "already installed at $PREFIX/myapp"
+  exit 0
+fi
+
+mkdir -p "$PREFIX/myapp/bin"
+mkdir -p "$PREFIX/myapp/share"
+touch "$PREFIX/myapp/share/manifest"
+echo "installed" > "$PREFIX/myapp/share/state"
+cat "$PREFIX/myapp/share/manifest"
+"""
+
+BACKUP = """#!/bin/sh
+# Nightly backup rotation.
+# @var BACKUP_ROOT : /var/backups/[a-z]+
+rm -rf "$BACKUP_ROOT/oldest"
+mv "$BACKUP_ROOT/daily" "$BACKUP_ROOT/oldest"
+mkdir "$BACKUP_ROOT/daily"
+touch "$BACKUP_ROOT/daily/.stamp"
+"""
+
+DANGEROUS_CLEANER = """#!/bin/sh
+# A "cleanup" script with the classic mistake.
+WORKDIR="$(cd "${0%/*}" && echo $PWD)"
+cd "$WORKDIR"
+rm -rf "$WORKDIR/"*
+"""
+
+RELEASE_PIPELINE = """#!/bin/sh
+# Extract and sort commit ids from a changelog.
+grep -oE '[0-9a-f]+' CHANGES.txt | sed 's/^/0x/' | sort -g | head -n 10
+"""
+
+BROKEN_RELEASE = """#!/bin/sh
+# Same pipeline, but the sed was "simplified" and breaks typing.
+grep -oE '[0-9a-f]+' CHANGES.txt | sed 's/^/id:/' | sort -g | head -n 10
+"""
+
+DEPLOY = """#!/bin/sh
+# Deployment with functions and a case dispatch.
+deploy() {
+  mkdir -p "/srv/app/releases/$1"
+  touch "/srv/app/releases/$1/done"
+}
+
+case "$1" in
+  staging) deploy staging ;;
+  prod)    deploy prod ;;
+  *)       echo "usage: $0 staging|prod" >&2; exit 64 ;;
+esac
+"""
+
+
+class TestInstaller:
+    def test_no_errors(self):
+        report = analyze(INSTALLER)
+        assert not report.errors(), [d.render() for d in report.errors()]
+
+    def test_idempotent_thanks_to_guard_and_p(self):
+        report = analyze(INSTALLER)
+        assert not report.has("idempotence")
+        assert not report.has("always-fails")
+
+
+class TestBackup:
+    def test_no_dangerous_deletion_with_annotation(self):
+        report = analyze(BACKUP)
+        assert not report.has("dangerous-deletion")
+
+    def test_mkdir_idempotence_noted(self):
+        report = analyze(BACKUP)
+        # plain mkdir on a fixed path: re-running the rotation would fail
+        assert report.has("idempotence")
+
+    def test_no_always_fails(self):
+        report = analyze(BACKUP)
+        assert not report.has("always-fails")
+
+
+class TestDangerousCleaner:
+    def test_flagged(self):
+        report = analyze(DANGEROUS_CLEANER)
+        assert report.has("dangerous-deletion")
+
+    def test_witness_is_rooty(self):
+        report = analyze(DANGEROUS_CLEANER)
+        witnesses = [d.witness for d in report.by_code("dangerous-deletion")]
+        assert any(w.startswith("/") for w in witnesses if w)
+
+
+class TestReleasePipelines:
+    def test_good_pipeline_clean(self):
+        report = analyze(RELEASE_PIPELINE)
+        assert not report.has("stream-type-error")
+        assert not report.has("dead-stream")
+
+    def test_broken_pipeline_flagged(self):
+        report = analyze(BROKEN_RELEASE)
+        assert report.has("stream-type-error")
+
+
+class TestDeploy:
+    def test_no_errors(self):
+        report = analyze(DEPLOY, n_args=1)
+        assert not report.errors(), [d.render() for d in report.errors()]
+
+    def test_all_arms_live(self):
+        report = analyze(DEPLOY, n_args=1)
+        assert not report.has("dead-case-branch")
+
+    def test_usage_path_exits_64(self):
+        from repro.checkers import default_checkers
+        from repro.symex import Engine
+
+        result = Engine(checkers=default_checkers()).run_script(DEPLOY, n_args=1)
+        assert 64 in {s.status for s in result.states}
+
+
+class TestWholeCorpusSmoke:
+    def test_every_corpus_script_analyzes(self):
+        from repro.analysis.corpus import corpus
+
+        for script in corpus():
+            report = analyze(script.source, n_args=script.n_args)
+            assert report is not None
+
+    def test_examples_parse(self):
+        """All shell snippets embedded in the examples must parse."""
+        from repro.shell import parse
+
+        parse(INSTALLER)
+        parse(BACKUP)
+        parse(DEPLOY)

@@ -1,0 +1,163 @@
+"""Unit tests for runtime monitoring and the verify policy tool."""
+
+import shutil
+
+import pytest
+
+from repro.monitor import (
+    MonitoredStage,
+    MonitorViolation,
+    PolicyRule,
+    StreamMonitor,
+    Verdict,
+    monitor_subprocess,
+    parse_policy,
+    run_pipeline,
+    verify_script,
+)
+from repro.rtypes import StreamType
+
+
+class TestStreamMonitor:
+    def test_conforming_lines_pass(self):
+        monitor = StreamMonitor(StreamType.of("[0-9]+"))
+        out = list(monitor.filter(["1", "22", "333"]))
+        assert out == ["1", "22", "333"]
+        assert monitor.stats.lines_checked == 3
+        assert monitor.stats.violations == 0
+
+    def test_violation_raises(self):
+        monitor = StreamMonitor(StreamType.of("[0-9]+"), where="stage 2")
+        with pytest.raises(MonitorViolation) as exc_info:
+            list(monitor.filter(["1", "oops", "3"]))
+        assert "stage 2" in str(exc_info.value)
+        assert exc_info.value.lineno == 2
+
+    def test_violation_halts_before_propagation(self):
+        """The §4 guarantee: the protected stage never sees the bad line."""
+        monitor = StreamMonitor(StreamType.of("[0-9]+"))
+        received = []
+
+        def protected(lines):
+            for line in lines:
+                received.append(line)
+                yield line
+
+        with pytest.raises(MonitorViolation):
+            run_pipeline(
+                [monitor.filter, protected],
+                ["1", "2", "bad", "4"],
+            )
+        assert received == ["1", "2"]
+
+    def test_drop_mode(self):
+        monitor = StreamMonitor(StreamType.of("[0-9]+"), on_violation="drop")
+        out = list(monitor.filter(["1", "x", "3"]))
+        assert out == ["1", "3"]
+        assert monitor.stats.violations == 1
+
+    def test_count_mode(self):
+        monitor = StreamMonitor(StreamType.of("[a-z]+"), on_violation="count")
+        list(monitor.filter(["ok", "NO", "fine"]))
+        assert monitor.stats.violations == 1
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StreamMonitor(StreamType.any(), on_violation="explode")
+
+    def test_monitored_stage_wraps_both_sides(self):
+        stage = MonitoredStage(
+            stage=lambda lines: (line.upper() for line in lines),
+            input_monitor=StreamMonitor(StreamType.of("[a-z]+")),
+            output_monitor=StreamMonitor(StreamType.of("[A-Z]+")),
+        )
+        assert run_pipeline([stage], ["abc", "de"]) == ["ABC", "DE"]
+
+    def test_monitor_subprocess_ok(self):
+        if shutil.which("cat") is None:
+            pytest.skip("no cat binary")
+        out = monitor_subprocess(
+            ["cat"], ["alpha", "beta"], StreamType.of("[a-z]+")
+        )
+        assert out == ["alpha", "beta"]
+
+    def test_monitor_subprocess_violation_kills(self):
+        if shutil.which("cat") is None:
+            pytest.skip("no cat binary")
+        with pytest.raises(MonitorViolation):
+            monitor_subprocess(
+                ["cat"], ["alpha", "BETA!"], StreamType.of("[a-z]+")
+            )
+
+
+class TestPolicyParsing:
+    def test_no_rw(self):
+        [rule] = parse_policy(["--no-RW", "~/mine"])
+        assert rule.no_read and rule.no_write
+        assert rule.path == "~/mine"
+
+    def test_no_w_only(self):
+        [rule] = parse_policy(["--no-W", "/etc"])
+        assert rule.no_write and not rule.no_read
+
+    def test_multiple_rules(self):
+        rules = parse_policy(["--no-RW", "~/a", "--no-R", "/secrets"])
+        assert len(rules) == 2
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ValueError):
+            parse_policy(["--no-RW"])
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            parse_policy(["--no-X", "p"])
+
+
+class TestVerify:
+    """E11: the curl-to-sh scenario (§5)."""
+
+    RULES = [PolicyRule(path="~/mine", no_read=True, no_write=True)]
+
+    def test_clean_installer_allowed(self):
+        result = verify_script(
+            "mkdir -p /opt/sw\ntouch /opt/sw/done\n", self.RULES
+        )
+        assert result.verdict is Verdict.ALLOW
+
+    def test_direct_write_rejected(self):
+        result = verify_script(
+            "rm -rf /home/user/mine/cache\n", self.RULES
+        )
+        assert result.verdict is Verdict.REJECT
+        assert any(v.definite for v in result.violations)
+
+    def test_ancestor_deletion_rejected(self):
+        result = verify_script("rm -rf /home/user\n", self.RULES)
+        assert result.verdict is Verdict.REJECT
+
+    def test_sibling_write_allowed(self):
+        result = verify_script("touch /home/user/other/x\n", self.RULES)
+        assert result.verdict is Verdict.ALLOW
+
+    def test_symbolic_path_needs_guard(self):
+        result = verify_script('rm -rf "$1"/cache\n', self.RULES, n_args=1)
+        assert result.verdict is Verdict.NEEDS_GUARD
+        assert result.guards
+
+    def test_symbolic_under_divergent_prefix_allowed(self):
+        result = verify_script('rm -rf "/opt/$1"\n', self.RULES, n_args=1)
+        assert result.verdict is Verdict.ALLOW
+
+    def test_read_only_policy_ignores_reads_when_w(self):
+        rules = [PolicyRule(path="~/mine", no_read=False, no_write=True)]
+        result = verify_script("cat /home/user/mine/notes\n", rules)
+        assert result.verdict is Verdict.ALLOW
+
+    def test_read_caught_by_r_policy(self):
+        rules = [PolicyRule(path="~/mine", no_read=True, no_write=False)]
+        result = verify_script("cat /home/user/mine/notes\n", rules)
+        assert result.verdict is Verdict.REJECT
+
+    def test_render_mentions_verdict(self):
+        result = verify_script("touch /tmp/x\n", self.RULES)
+        assert "ALLOW" in result.render()

@@ -1,0 +1,87 @@
+"""Unit tests for monitor placement planning (§4)."""
+
+from repro.monitor import plan_monitors
+
+
+class TestPlanMonitors:
+    def test_untyped_stage_gets_monitor(self):
+        plans = plan_monitors("cat f | extract-ids | sort -g\n")
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.command == "extract-ids"
+        assert plan.stage == 1
+
+    def test_output_type_from_downstream_bound(self):
+        [plan] = plan_monitors("cat f | extract-ids | sort -g\n")
+        assert plan.output_type is not None
+        assert plan.output_type.admits("0xdeadbeef")
+        assert not plan.output_type.admits("garbage!")
+
+    def test_input_type_from_upstream(self):
+        [plan] = plan_monitors("lsb_release -a | mystery | wc -l\n")
+        assert plan.input_type is not None
+        assert plan.input_type.admits("Release:\t12")
+        assert not plan.input_type.admits("nonsense")
+
+    def test_fully_typed_pipeline_needs_no_monitor(self):
+        assert plan_monitors("grep x f | sort | head -n 3\n") == []
+
+    def test_unbounded_consumer_needs_no_output_check(self):
+        [plan] = plan_monitors("cat f | mystery | sort\n")
+        # plain sort is ∀α. α -> α: any input is fine, nothing to check
+        assert plan.output_type is None
+
+    def test_multiple_untyped_stages(self):
+        plans = plan_monitors("cat f | stage-one | stage-two | sort -n\n")
+        assert len(plans) == 2
+        assert {p.command for p in plans} == {"stage-one", "stage-two"}
+
+    def test_wrapper_command_rewrites_stage(self):
+        [plan] = plan_monitors("cat f | extract-ids | sort -g\n")
+        wrapper = plan.wrapper_command()
+        assert wrapper.startswith("repro-monitor --type")
+        assert wrapper.endswith("extract-ids")
+
+    def test_scripts_without_pipelines_need_nothing(self):
+        assert plan_monitors("echo hello\nmystery-cmd\n") == []
+
+    def test_plans_found_inside_compounds(self):
+        plans = plan_monitors(
+            "if true; then cat f | mystery | sort -n; fi\n"
+        )
+        assert len(plans) == 1
+
+    def test_render(self):
+        [plan] = plan_monitors("cat f | mystery | sort -n\n")
+        text = plan.render()
+        assert "mystery" in text and "stdout ::" in text
+
+
+class TestExternalAnnotations:
+    def test_annotation_file_loaded(self, tmp_path):
+        from repro.analysis import analyze
+
+        shared = tmp_path / "repo.shellspec"
+        shared.write_text("@var TARGET : /srv/[a-z]+/data\n")
+        report = analyze(
+            'rm -rf "$TARGET"\n', annotation_files=[str(shared)]
+        )
+        assert not report.has("dangerous-deletion")
+
+    def test_inline_overrides_external(self, tmp_path):
+        from repro.analysis import parse_annotations, load_annotation_file, merge_annotations
+
+        shared = tmp_path / "repo.shellspec"
+        shared.write_text("@args 1\n@var X : [0-9]+\n")
+        inline = parse_annotations("# @args 3\n")
+        merged = merge_annotations(load_annotation_file(str(shared)), inline)
+        assert merged.n_args == 3
+        assert "X" in merged.variables
+
+    def test_commented_directives_accepted(self, tmp_path):
+        from repro.analysis import load_annotation_file
+
+        shared = tmp_path / "x.shellspec"
+        shared.write_text("# @var Y : url\n@var Z : hex\n")
+        annotations = load_annotation_file(str(shared))
+        assert set(annotations.variables) == {"Y", "Z"}

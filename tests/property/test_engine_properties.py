@@ -1,0 +1,98 @@
+"""Property tests at the engine level.
+
+- random arithmetic expressions evaluate identically to /bin/sh;
+- metamorphic invariances: semantics-preserving rewrites (no-op
+  prefixes, brace wrapping, comment insertion) must not change the
+  analyzer's findings.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis import analyze
+from repro.symex.arith import ArithError, evaluate
+
+SH = shutil.which("sh")
+
+
+# -- random arithmetic vs /bin/sh ---------------------------------------------
+
+numbers = st.integers(min_value=0, max_value=99).map(str)
+binops = st.sampled_from(["+", "-", "*", "/", "%"])
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(numbers)
+    left = draw(arith_exprs(depth=depth + 1))
+    right = draw(arith_exprs(depth=depth + 1))
+    op = draw(binops)
+    return f"({left}{op}{right})"
+
+
+@pytest.mark.skipif(SH is None, reason="no /bin/sh")
+class TestArithDifferential:
+    @given(arith_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_sh(self, expr):
+        try:
+            ours = evaluate(expr, lambda n: None)
+        except ArithError:
+            assume(False)  # division by zero etc.: sh would error too
+            return
+        completed = subprocess.run(
+            [SH, "-c", f"echo $(({expr}))"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        assume(completed.returncode == 0)
+        assert str(ours) == completed.stdout.strip()
+
+
+# -- metamorphic invariances -------------------------------------------------------
+
+SCRIPTS = [
+    'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr "$STEAMROOT"/*\n',
+    'rm -fr "$1"\ncat "$1/config"\n',
+    "mkdir /srv/app\nmkdir /srv/app\n",
+    "lsb_release -a | grep '^desc' | cut -f 2\n",
+    "echo hello | sort\n",
+    'if [ "$(realpath "$1/")" != "/" ]; then rm -rf "$1"/w; fi\n',
+]
+
+
+def finding_codes(source, n_args=1):
+    report = analyze(source, n_args=n_args)
+    return {
+        (d.code, d.always)
+        for d in report.diagnostics
+        if d.severity.value in ("error", "warning")
+    }
+
+
+class TestMetamorphic:
+    @pytest.mark.parametrize("source", SCRIPTS)
+    def test_true_prefix_preserves_findings(self, source):
+        assert finding_codes(source) == finding_codes("true\n" + source)
+
+    @pytest.mark.parametrize("source", SCRIPTS)
+    def test_comment_insertion_preserves_findings(self, source):
+        commented = "# a comment\n" + source.replace("\n", "\n# inline\n", 1)
+        assert finding_codes(source) == finding_codes(commented)
+
+    @pytest.mark.parametrize("source", SCRIPTS)
+    def test_trailing_noop_preserves_findings(self, source):
+        assert finding_codes(source) == finding_codes(source + ": noop\n")
+
+    @pytest.mark.parametrize("source", SCRIPTS)
+    def test_roundtrip_print_preserves_findings(self, source):
+        from repro.shell import parse
+        from repro.shell.printer import render
+
+        rendered = render(parse(source)) + "\n"
+        assert finding_codes(source) == finding_codes(rendered)

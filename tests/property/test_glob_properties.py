@@ -1,0 +1,48 @@
+"""Property tests: glob compilation agrees with Python's fnmatch."""
+
+import fnmatch
+
+from hypothesis import given, settings, strategies as st
+
+from repro.shell.glob import glob_to_regex
+
+#: plain characters that are not glob syntax and not fnmatch oddities
+_PLAIN = "abcxyz019._-"
+
+pattern_atoms = st.one_of(
+    st.sampled_from(list(_PLAIN)),
+    st.sampled_from(["*", "?", "[ab]", "[a-z]", "[!a]", "[0-9]"]),
+)
+
+patterns = st.lists(pattern_atoms, min_size=0, max_size=6).map("".join)
+texts = st.text(alphabet=_PLAIN, max_size=8)
+
+
+class TestFnmatchAgreement:
+    @given(patterns, texts)
+    @settings(max_examples=400, deadline=None)
+    def test_matches_fnmatch(self, pattern, text):
+        ours = glob_to_regex(pattern).matches(text)
+        # fnmatchcase has the same whole-string, case-sensitive semantics
+        theirs = fnmatch.fnmatchcase(text, pattern)
+        assert ours == theirs, (pattern, text)
+
+    @given(texts)
+    @settings(max_examples=100, deadline=None)
+    def test_star_matches_everything(self, text):
+        assert glob_to_regex("*").matches(text)
+
+    @given(patterns)
+    @settings(max_examples=100, deadline=None)
+    def test_example_is_fnmatch_member(self, pattern):
+        regex = glob_to_regex(pattern)
+        example = regex.example()
+        if example is not None and all(c in _PLAIN for c in example):
+            assert fnmatch.fnmatchcase(example, pattern)
+
+
+class TestLiteralEscaping:
+    @given(texts)
+    @settings(max_examples=100, deadline=None)
+    def test_plain_text_matches_itself(self, text):
+        assert glob_to_regex(text).matches(text)

@@ -1,0 +1,118 @@
+"""Property tests for symbolic strings: concrete parameter-expansion
+operators agree with a brute-force oracle, and concatenation respects
+language semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rlang import Regex
+from repro.shell.glob import glob_to_regex
+from repro.symstr import ConstraintStore, SymString, strip_prefix, strip_suffix
+
+values = st.text(alphabet="ab/.x", max_size=8)
+glob_patterns = st.lists(
+    st.sampled_from(["a", "b", "/", ".", "*", "?"]), min_size=1, max_size=4
+).map("".join)
+
+
+def oracle_suffix(text, pattern, longest):
+    """POSIX ${text%pattern} computed by definition."""
+    regex = glob_to_regex(pattern)
+    candidates = [
+        idx for idx in range(len(text) + 1) if regex.matches(text[idx:])
+    ]
+    if not candidates:
+        return text
+    idx = min(candidates) if longest else max(candidates)
+    return text[:idx]
+
+
+def oracle_prefix(text, pattern, longest):
+    regex = glob_to_regex(pattern)
+    candidates = [
+        idx for idx in range(len(text) + 1) if regex.matches(text[:idx])
+    ]
+    if not candidates:
+        return text
+    idx = max(candidates) if longest else min(candidates)
+    return text[idx:]
+
+
+class TestConcreteStrips:
+    @given(values, glob_patterns, st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_suffix_strip_matches_oracle(self, text, pattern, longest):
+        store = ConstraintStore()
+        [case] = strip_suffix(
+            SymString.lit(text), glob_to_regex(pattern), longest, store
+        )
+        assert case.result.concrete_value() == oracle_suffix(text, pattern, longest)
+
+    @given(values, glob_patterns, st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_prefix_strip_matches_oracle(self, text, pattern, longest):
+        store = ConstraintStore()
+        [case] = strip_prefix(
+            SymString.lit(text), glob_to_regex(pattern), longest, store
+        )
+        assert case.result.concrete_value() == oracle_prefix(text, pattern, longest)
+
+
+class TestSymbolicStripSoundness:
+    """The symbolic cases must over-approximate the concrete results:
+    for any concrete value in the variable's language, the oracle result
+    is in some case's result language."""
+
+    @given(values, glob_patterns)
+    @settings(max_examples=120, deadline=None)
+    def test_symbolic_suffix_covers_concrete(self, text, pattern):
+        store = ConstraintStore()
+        # a variable whose language is exactly {text}
+        vid = store.fresh(Regex.literal(text), label="v")
+        cases = strip_suffix(
+            SymString.var(vid), glob_to_regex(pattern), False, store
+        )
+        expected = oracle_suffix(text, pattern, False)
+        covered = any(
+            case.result.to_regex(store).matches(expected) for case in cases
+        )
+        assert covered, (text, pattern, expected)
+
+    @given(values, glob_patterns)
+    @settings(max_examples=120, deadline=None)
+    def test_symbolic_prefix_covers_concrete(self, text, pattern):
+        store = ConstraintStore()
+        vid = store.fresh(Regex.literal(text), label="v")
+        cases = strip_prefix(
+            SymString.var(vid), glob_to_regex(pattern), False, store
+        )
+        expected = oracle_prefix(text, pattern, False)
+        covered = any(
+            case.result.to_regex(store).matches(expected) for case in cases
+        )
+        assert covered, (text, pattern, expected)
+
+
+class TestConcatSemantics:
+    @given(values, values)
+    @settings(max_examples=150, deadline=None)
+    def test_concat_of_literals(self, left, right):
+        store = ConstraintStore()
+        combined = SymString.lit(left) + SymString.lit(right)
+        assert combined.concrete_value() == left + right
+        assert combined.to_regex(store).matches(left + right)
+
+    @given(values, values, values)
+    @settings(max_examples=80, deadline=None)
+    def test_concat_associative(self, a, b, c):
+        lhs = (SymString.lit(a) + SymString.lit(b)) + SymString.lit(c)
+        rhs = SymString.lit(a) + (SymString.lit(b) + SymString.lit(c))
+        assert lhs == rhs
+
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_var_concat_language(self, text):
+        store = ConstraintStore()
+        vid = store.fresh(Regex.compile("[ab]*"), label="v")
+        combined = SymString.lit(text) + SymString.var(vid)
+        assert combined.to_regex(store).matches(text + "ab")
+        assert combined.to_regex(store).matches(text)

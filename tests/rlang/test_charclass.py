@@ -1,0 +1,140 @@
+"""Unit tests for CharSet interval algebra."""
+
+from repro.rlang.charclass import MAX_CODEPOINT, CharSet, partition
+
+
+class TestConstruction:
+    def test_of_chars(self):
+        cs = CharSet.of("abc")
+        assert "a" in cs and "b" in cs and "c" in cs
+        assert "d" not in cs
+
+    def test_of_merges_adjacent(self):
+        cs = CharSet.of("abc")
+        assert cs.intervals == ((ord("a"), ord("c")),)
+
+    def test_range(self):
+        cs = CharSet.range("0", "9")
+        assert "0" in cs and "9" in cs and "5" in cs
+        assert "a" not in cs
+
+    def test_empty(self):
+        assert CharSet.empty().is_empty()
+        assert len(CharSet.empty()) == 0
+
+    def test_universe(self):
+        u = CharSet.universe()
+        assert u.is_universe()
+        assert "a" in u and "\n" in u and chr(MAX_CODEPOINT) in u
+
+    def test_normalise_overlapping(self):
+        cs = CharSet([(10, 20), (15, 30), (31, 40)])
+        assert cs.intervals == ((10, 40),)
+
+    def test_inverted_interval_dropped(self):
+        assert CharSet([(20, 10)]).is_empty()
+
+    def test_immutable(self):
+        cs = CharSet.of("a")
+        try:
+            cs.intervals = ()
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("CharSet should be immutable")
+
+
+class TestAlgebra:
+    def test_union(self):
+        cs = CharSet.of("a").union(CharSet.of("z"))
+        assert "a" in cs and "z" in cs and "m" not in cs
+
+    def test_intersect(self):
+        a = CharSet.range("a", "m")
+        b = CharSet.range("g", "z")
+        both = a.intersect(b)
+        assert "g" in both and "m" in both
+        assert "a" not in both and "z" not in both
+
+    def test_intersect_disjoint(self):
+        assert CharSet.of("a").intersect(CharSet.of("b")).is_empty()
+
+    def test_complement_roundtrip(self):
+        cs = CharSet.range("a", "z")
+        assert cs.complement().complement() == cs
+
+    def test_complement_membership(self):
+        cs = CharSet.of("/")
+        comp = cs.complement()
+        assert "/" not in comp
+        assert "a" in comp and "\n" in comp
+
+    def test_complement_of_empty_is_universe(self):
+        assert CharSet.empty().complement().is_universe()
+
+    def test_difference(self):
+        cs = CharSet.range("a", "e").difference(CharSet.of("c"))
+        assert "a" in cs and "b" in cs and "d" in cs and "e" in cs
+        assert "c" not in cs
+
+    def test_overlaps(self):
+        assert CharSet.range("a", "m").overlaps(CharSet.range("m", "z"))
+        assert not CharSet.of("a").overlaps(CharSet.of("b"))
+
+    def test_demorgan(self):
+        a = CharSet.range("a", "m")
+        b = CharSet.of("xyz019")
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersect(b.complement())
+        assert lhs == rhs
+
+
+class TestQueries:
+    def test_len(self):
+        assert len(CharSet.range("a", "z")) == 26
+        assert len(CharSet.of("a").union(CharSet.of("c"))) == 2
+
+    def test_sample_is_member(self):
+        for cs in [CharSet.of("x"), CharSet.range("0", "9"), CharSet.of("\n")]:
+            assert cs.sample() in cs
+
+    def test_sample_prefers_printable(self):
+        cs = CharSet([(0, 0x7E)])
+        assert cs.sample() == " "
+
+    def test_sample_empty_raises(self):
+        try:
+            CharSet.empty().sample()
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_chars_limit(self):
+        assert list(CharSet.range("a", "z").chars(limit=3)) == ["a", "b", "c"]
+
+    def test_hash_eq(self):
+        assert hash(CharSet.of("ab")) == hash(CharSet.range("a", "b"))
+        assert CharSet.of("ab") == CharSet.range("a", "b")
+
+
+class TestPartition:
+    def test_partition_disjoint(self):
+        atoms = partition([CharSet.range("a", "m"), CharSet.range("g", "z")])
+        for i, x in enumerate(atoms):
+            for y in atoms[i + 1 :]:
+                assert not x.overlaps(y)
+
+    def test_partition_covers_inputs(self):
+        sets = [CharSet.range("a", "m"), CharSet.range("g", "z"), CharSet.of("0")]
+        atoms = partition(sets)
+        for cs in sets:
+            covered = CharSet.empty()
+            for atom in atoms:
+                if atom.overlaps(cs):
+                    assert atom.intersect(cs) == atom  # atom within cs
+                    covered = covered.union(atom)
+            assert covered == cs
+
+    def test_partition_empty_input(self):
+        assert partition([]) == []

@@ -1,0 +1,94 @@
+"""Unit tests for homomorphic-image types (tr translation)."""
+
+import pytest
+
+from repro.rlang import Regex
+from repro.rtypes import (
+    StreamType,
+    apply_signature,
+    check_pipeline,
+    signature_for,
+)
+
+
+class TestMapCharsOperation:
+    def test_offset_image(self):
+        lang = Regex.compile("[a-z]+")
+        upper = lang.map_chars(_upcase)
+        assert upper.matches("HELLO")
+        assert not upper.matches("hello")
+
+    def test_partial_map_keeps_rest(self):
+        lang = Regex.compile("[a-z0-9]+")
+        upper = lang.map_chars(_upcase)
+        assert upper.matches("AB12")
+        assert not upper.matches("ab12")
+
+    def test_structure_preserved(self):
+        lang = Regex.compile("a(b|c)d")
+        image = lang.map_chars(_upcase)
+        assert image.matches("ABD") and image.matches("ACD")
+        assert not image.matches("AD")
+
+    def test_length_preserved(self):
+        lang = Regex.compile("a{3}")
+        image = lang.map_chars(_upcase)
+        assert image.matches("AAA")
+        assert not image.matches("AA")
+
+
+def _upcase(charset):
+    from repro.rlang.charclass import CharSet
+
+    lowers = CharSet.range("a", "z")
+    untouched = charset.difference(lowers)
+    mapped = CharSet.empty()
+    overlap = charset.intersect(lowers)
+    for lo, hi in overlap.intervals:
+        mapped = mapped.union(CharSet([(lo - 32, hi - 32)]))
+    return untouched.union(mapped)
+
+
+class TestTrSignature:
+    def test_signature_exists(self):
+        sig = signature_for(["tr", "a-z", "A-Z"])
+        assert sig is not None
+        assert "∀α" in str(sig)
+
+    def test_application(self):
+        sig = signature_for(["tr", "a-z", "A-Z"])
+        out = apply_signature(sig, StreamType.of("[a-z]+[0-9]"))
+        assert out.admits("ABC3")
+        assert not out.admits("abc3")
+        assert out.admits("X9")
+
+    def test_explicit_char_list(self):
+        sig = signature_for(["tr", "abc", "xyz"])
+        out = apply_signature(sig, StreamType.of("[abc]+"))
+        assert out.admits("xyz")
+        assert not out.admits("abc")
+
+    def test_set2_padding(self):
+        # POSIX pads SET2 with its last character
+        sig = signature_for(["tr", "abc", "x"])
+        out = apply_signature(sig, StreamType.of("[abc]+"))
+        assert out.admits("xxx")
+        assert not out.admits("abx")
+
+    def test_pipeline_dead_after_upcase(self):
+        result = check_pipeline(
+            [["grep", "-oE", "[a-z]+"], ["tr", "a-z", "A-Z"], ["grep", "[a-z]"]]
+        )
+        assert result.output_dead
+
+    def test_pipeline_live_for_upper(self):
+        result = check_pipeline(
+            [["grep", "-oE", "[a-z]+"], ["tr", "a-z", "A-Z"], ["grep", "^[A-Z]+$"]]
+        )
+        assert not result.issues
+
+    def test_tr_d_still_works(self):
+        sig = signature_for(["tr", "-d", "0-9"])
+        out = apply_signature(sig, StreamType.any())
+        assert out.admits("abc")
+        assert not out.admits("a1")

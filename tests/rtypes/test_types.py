@@ -1,0 +1,121 @@
+"""Unit tests for stream types and the named type library."""
+
+from repro.rlang import Regex
+from repro.rtypes import (
+    StreamType,
+    grep_line_language,
+    named_type,
+    named_type_names,
+    register_named_type,
+    type_of,
+)
+
+
+class TestStreamType:
+    def test_admits(self):
+        st = StreamType.of("[0-9]+")
+        assert st.admits("123")
+        assert not st.admits("12a")
+
+    def test_admits_stream(self):
+        st = StreamType.of("[a-z]+")
+        assert st.admits_stream(["abc", "def"])
+        assert not st.admits_stream(["abc", "DEF"])
+
+    def test_any(self):
+        assert StreamType.any().admits("whatever: anything")
+
+    def test_dead(self):
+        assert StreamType.dead().is_dead()
+        assert not StreamType.any().is_dead()
+
+    def test_intersect(self):
+        st = StreamType.of("[a-z]+").intersect(StreamType.of(".*oo.*"))
+        assert st.admits("foo")
+        assert not st.admits("bar")
+
+    def test_union(self):
+        st = StreamType.of("cat").union(StreamType.of("dog"))
+        assert st.admits("cat") and st.admits("dog")
+
+    def test_subtyping(self):
+        assert StreamType.of("desc.*") <= StreamType.of(".*")
+        assert not (StreamType.of(".*") <= StreamType.of("desc.*"))
+
+    def test_eq(self):
+        assert StreamType.of("a+") == StreamType.of("aa*")
+
+    def test_describe(self):
+        assert StreamType.of(".*", "any").describe() == "any"
+        assert "desc" in StreamType.of("desc.*").describe()
+
+
+class TestNamedTypes:
+    def test_core_names_exist(self):
+        for name in ["any", "url", "longlist", "path", "hex", "number"]:
+            assert named_type(name) is not None
+
+    def test_unknown_name(self):
+        assert named_type("nonsense") is None
+
+    def test_url(self):
+        url = named_type("url")
+        assert url.admits("https://example.com/x")
+        assert url.admits("ftp://host/file")
+        assert not url.admits("not a url")
+
+    def test_longlist(self):
+        longlist = named_type("longlist")
+        assert longlist.admits("-rw-r--r-- 1 root root 4096 Jan  1 00:00 file.txt")
+        assert longlist.admits("drwxr-xr-x 2 user group 512 May 14 notes")
+        assert not longlist.admits("file.txt")
+
+    def test_lsb_release(self):
+        lsb = named_type("lsb_release")
+        assert lsb.admits("Description:\tDebian GNU/Linux 12")
+        assert not lsb.admits("description:\toops")
+
+    def test_path(self):
+        path = named_type("path")
+        assert path.admits("/home/user/.steam")
+        assert path.admits("relative/path")
+        assert not path.admits("")
+
+    def test_register(self):
+        register_named_type("semver", r"[0-9]+\.[0-9]+\.[0-9]+")
+        assert named_type("semver").admits("1.2.3")
+        assert "semver" in named_type_names()
+
+    def test_type_of_falls_back_to_pattern(self):
+        st = type_of("[0-9]{4}")
+        assert st.admits("2025")
+
+    def test_type_of_prefers_name(self):
+        assert type_of("any").name == "any"
+
+
+class TestGrepLanguage:
+    def test_unanchored(self):
+        lang = grep_line_language("desc")
+        assert lang.matches("xx desc yy")
+        assert not lang.matches("de sc")
+
+    def test_start_anchor(self):
+        lang = grep_line_language("^desc")
+        assert lang.matches("description")
+        assert not lang.matches("xdesc")
+
+    def test_end_anchor(self):
+        lang = grep_line_language("desc$")
+        assert lang.matches("my desc")
+        assert not lang.matches("desc more")
+
+    def test_both_anchors(self):
+        lang = grep_line_language("^desc$")
+        assert lang.matches("desc")
+        assert not lang.matches("descx")
+
+    def test_whole_line(self):
+        lang = grep_line_language("de.c", whole_line=True)
+        assert lang.matches("desc")
+        assert not lang.matches("xdesc")

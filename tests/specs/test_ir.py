@@ -1,0 +1,137 @@
+"""Unit tests for the specification IR: argv parsing, clause guards,
+triple rendering, and the registry."""
+
+import pytest
+
+from repro.specs import (
+    Absent,
+    Clause,
+    CommandSpec,
+    Deletes,
+    Exists,
+    PathKind,
+    Sel,
+    SpecParseError,
+    SpecRegistry,
+    default_registry,
+)
+
+
+@pytest.fixture
+def rm_spec():
+    return default_registry().get("rm")
+
+
+class TestArgvParsing:
+    def test_flags_and_operands(self, rm_spec):
+        inv = rm_spec.parse_argv(["rm", "-f", "-r", "a", "b"])
+        assert inv.flags == frozenset({"-f", "-r"})
+        assert inv.operands == [3, 4]
+
+    def test_merged_flags(self, rm_spec):
+        inv = rm_spec.parse_argv(["rm", "-fr", "x"])
+        assert inv.flags == frozenset({"-f", "-r"})
+
+    def test_double_dash_ends_options(self, rm_spec):
+        inv = rm_spec.parse_argv(["rm", "--", "-f"])
+        assert not inv.flags
+        assert len(inv.operands) == 1
+
+    def test_unknown_flag_rejected(self, rm_spec):
+        with pytest.raises(SpecParseError):
+            rm_spec.parse_argv(["rm", "-z", "x"])
+
+    def test_long_options(self, rm_spec):
+        inv = rm_spec.parse_argv(["rm", "--force", "x"])
+        assert "--force" in inv.flags
+
+    def test_unknown_long_option(self, rm_spec):
+        with pytest.raises(SpecParseError):
+            rm_spec.parse_argv(["rm", "--explode", "x"])
+
+    def test_option_with_value(self):
+        mkdir = default_registry().get("mkdir")
+        inv = mkdir.parse_argv(["mkdir", "-m", "755", "dir"])
+        assert inv.flag_values["-m"] == "755"
+        assert len(inv.operands) == 1
+
+    def test_attached_option_value(self):
+        cut = default_registry().get("cut")
+        inv = cut.parse_argv(["cut", "-d:", "-f", "1", "file"])
+        assert inv.flag_values["-d"] == ":"
+        assert inv.flag_values["-f"] == "1"
+
+    def test_min_operands_enforced(self):
+        mkdir = default_registry().get("mkdir")
+        with pytest.raises(SpecParseError):
+            mkdir.parse_argv(["mkdir"])
+
+    def test_max_operands_enforced(self):
+        sleep = default_registry().get("sleep")
+        with pytest.raises(SpecParseError):
+            sleep.parse_argv(["sleep", "1", "2"])
+
+    def test_missing_option_value(self):
+        mkdir = default_registry().get("mkdir")
+        with pytest.raises(SpecParseError):
+            mkdir.parse_argv(["mkdir", "-m"])
+
+
+class TestClauses:
+    def test_applicable_requires(self):
+        clause = Clause(requires_flags=frozenset({"-r"}))
+        assert clause.applicable(frozenset({"-r", "-f"}))
+        assert not clause.applicable(frozenset({"-f"}))
+
+    def test_applicable_forbids(self):
+        clause = Clause(forbids_flags=frozenset({"-f"}))
+        assert clause.applicable(frozenset())
+        assert not clause.applicable(frozenset({"-f"}))
+
+    def test_rm_clause_selection(self, rm_spec):
+        with_rf = rm_spec.applicable_clauses(frozenset({"-r", "-f"}))
+        notes = {c.note for c in with_rf}
+        assert any("recursive" in n for n in notes)
+        assert not any("without -r fails" in n for n in notes)
+
+    def test_triple_rendering(self):
+        clause = Clause(
+            pre=(Exists(Sel.EACH, PathKind.ANY),),
+            effects=(Deletes(Sel.EACH, recursive=True),),
+            exit_code=0,
+            requires_flags=frozenset({"-f", "-r"}),
+        )
+        triple = clause.triple("rm")
+        assert "∃" in triple
+        assert "rm -f -r $p" in triple
+        assert "exit 0" in triple
+
+    def test_absent_rendering(self):
+        clause = Clause(pre=(Absent(Sel.EACH),), exit_code=1)
+        assert "∄" in clause.triple("rm")
+
+
+class TestRegistry:
+    def test_default_registry_size(self):
+        assert len(default_registry()) >= 35
+
+    def test_no_replace(self):
+        registry = SpecRegistry()
+        registry.register(CommandSpec(name="x"))
+        with pytest.raises(ValueError):
+            registry.register(CommandSpec(name="x"), replace=False)
+
+    def test_replace_allowed(self):
+        registry = SpecRegistry()
+        registry.register(CommandSpec(name="x", summary="one"))
+        registry.register(CommandSpec(name="x", summary="two"))
+        assert registry.get("x").summary == "two"
+
+    def test_contains(self):
+        assert "rm" in default_registry()
+        assert "no-such-tool" not in default_registry()
+
+    def test_platform_tables(self):
+        sed = default_registry().get("sed")
+        assert "-i" in sed.unsupported_flags_on("macos")
+        assert "-i" not in sed.unsupported_flags_on("linux")

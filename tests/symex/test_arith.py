@@ -1,0 +1,127 @@
+"""Unit + differential tests for arithmetic expansion."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+from repro.symex.arith import ArithError, evaluate
+
+
+def lookup_none(name):
+    return None
+
+
+def lookup(env):
+    return lambda name: env.get(name)
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1+2", 3),
+            ("2*3+4", 10),
+            ("2+3*4", 14),
+            ("(2+3)*4", 20),
+            ("10/3", 3),
+            ("-10/3", -3),
+            ("10%3", 1),
+            ("-7%2", -1),
+            ("1<<4", 16),
+            ("256>>4", 16),
+            ("5&3", 1),
+            ("5|3", 7),
+            ("5^3", 6),
+            ("~0", -1),
+            ("1<2", 1),
+            ("2<=2", 1),
+            ("3>4", 0),
+            ("1==1", 1),
+            ("1!=1", 0),
+            ("1&&0", 0),
+            ("1||0", 1),
+            ("!0", 1),
+            ("!5", 0),
+            ("-3", -3),
+            ("+7", 7),
+            ("0x1f", 31),
+            ("010", 8),
+            ("0", 0),
+        ],
+    )
+    def test_concrete(self, expr, expected):
+        assert evaluate(expr, lookup_none) == expected
+
+    def test_variables(self):
+        assert evaluate("X+1", lookup({"X": "41"})) == 42
+        assert evaluate("X*Y", lookup({"X": "6", "Y": "7"})) == 42
+
+    def test_dollar_variables(self):
+        assert evaluate("$X+1", lookup({"X": "1"})) == 2
+
+    def test_unset_variable_is_zero(self):
+        assert evaluate("X+5", lookup({"X": ""})) == 5
+
+    def test_symbolic_variable_gives_none(self):
+        assert evaluate("X+1", lambda n: None if n == "X" else "") is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ArithError):
+            evaluate("1/0", lookup_none)
+
+    def test_malformed(self):
+        with pytest.raises(ArithError):
+            evaluate("1+", lookup_none)
+        with pytest.raises(ArithError):
+            evaluate("(1", lookup_none)
+
+
+class TestEngineIntegration:
+    def run_value(self, source):
+        engine = Engine(checkers=default_checkers())
+        result = engine.run_script(source)
+        values = set()
+        for state in result.states:
+            value = state.get_var("OUT")
+            if value is not None:
+                values.add(value.concrete_value())
+        return values
+
+    def test_concrete_arith(self):
+        assert self.run_value("OUT=$((2+3*4))") == {"14"}
+
+    def test_arith_with_vars(self):
+        assert self.run_value("N=5\nOUT=$((N*N))") == {"25"}
+
+    def test_counter_increment(self):
+        assert self.run_value("I=0\nI=$((I+1))\nI=$((I+1))\nOUT=$I") == {"2"}
+
+    def test_symbolic_falls_back(self):
+        engine = Engine(checkers=default_checkers())
+        result = engine.run_script('OUT=$(($1+1))', n_args=1)
+        for state in result.states:
+            value = state.get_var("OUT")
+            assert value.concrete_value() is None
+            assert value.to_regex(state.store).matches("42")
+
+
+SH = shutil.which("sh")
+
+
+@pytest.mark.skipif(SH is None, reason="no /bin/sh")
+class TestDifferential:
+    EXPRS = [
+        "1+2*3", "(4+5)%7", "100/7", "-9/2", "-9%2", "1<<5", "7&3", "7|8",
+        "2<3", "3<=3", "4!=4", "1&&2", "0||0", "!3", "0x10+1", "~5",
+    ]
+
+    @pytest.mark.parametrize("expr", EXPRS)
+    def test_agrees_with_sh(self, expr):
+        script = f'echo $(({expr}))'
+        expected = subprocess.run(
+            [SH, "-c", script], capture_output=True, text=True
+        ).stdout.strip()
+        assert str(evaluate(expr, lookup_none)) == expected

@@ -1,0 +1,224 @@
+"""Advanced engine behaviours: redirects, fs persistence, refinement
+precision, loops, functions, and state-merging mechanics."""
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.fs import Existence, NodeKind, parse_sympath
+from repro.rlang import Regex
+from repro.symex import Engine
+from repro.symstr import SymString
+
+
+def run(source, n_args=0, **kwargs):
+    return Engine(checkers=default_checkers(), **kwargs).run_script(source, n_args=n_args)
+
+
+def final_var(result, name):
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestRedirects:
+    def test_output_redirect_creates_file(self):
+        result = run("echo hi >/tmp/out.txt")
+        for state in result.states:
+            node = state.fs.resolve(
+                parse_sympath(SymString.lit("/tmp/out.txt")), create=False
+            )
+            assert node is not None
+            assert state.fs.existence(node) is Existence.EXISTS
+
+    def test_input_redirect_requires_file(self):
+        result = run("rm -f /data.txt\nsort </data.txt")
+        assert result.has("always-fails")
+
+    def test_input_redirect_fine_when_present(self):
+        result = run("echo x >/data.txt\nsort </data.txt")
+        assert not result.has("always-fails")
+
+    def test_redirect_on_compound(self):
+        result = run("if true; then echo a; fi >/log.txt")
+        for state in result.states:
+            node = state.fs.resolve(
+                parse_sympath(SymString.lit("/log.txt")), create=False
+            )
+            assert node is not None
+
+    def test_append_also_writes(self):
+        result = run("echo x >>/log")
+        for state in result.states:
+            node = state.fs.resolve(parse_sympath(SymString.lit("/log")), create=False)
+            assert state.fs.existence(node) is Existence.EXISTS
+
+
+class TestSubshellSemantics:
+    def test_fs_effects_persist(self):
+        # a subshell's file-system changes are real
+        result = run("(touch /made-inside)\ncat /made-inside")
+        assert not result.has("always-fails")
+
+    def test_fs_deletions_persist(self):
+        result = run("touch /f\n(rm -f /f)\ncat /f")
+        assert result.has("always-fails")
+
+    def test_variable_changes_do_not_persist(self):
+        result = run("X=out\n(X=in)\nOUT=$X")
+        assert final_var(result, "OUT") == {"out"}
+
+    def test_constraint_refinements_persist(self):
+        # facts about a pre-existing variable learned inside a subshell
+        # are facts about the world
+        result = run('(cd "$1") && rm -rf "$1"', n_args=1)
+        # on the && path, cd succeeded so $1 was non-empty
+        for state in result.states:
+            if state.notes and any("rm" in n for n in state.notes):
+                assert not state.params[1].could_be_empty(state.store)
+
+
+class TestRefinementPrecision:
+    def test_case_refines_subject(self):
+        source = 'case "$1" in /*) OUT=abs ;; *) OUT=rel ;; esac'
+        result = run(source, n_args=1)
+        for state in result.states:
+            out = state.get_var("OUT")
+            if out is None:
+                continue
+            lang = state.params[1].to_regex(state.store)
+            if out.concrete_value() == "abs":
+                assert not lang.matches("relative/path")
+            elif out.concrete_value() == "rel":
+                assert not lang.matches("/absolute")
+
+    def test_equality_refines_to_constant(self):
+        source = 'if [ "$1" = "prod" ]; then OUT=yes; fi'
+        result = run(source, n_args=1)
+        for state in result.states:
+            if (state.get_var("OUT") or SymString.empty()).concrete_value() == "yes":
+                assert state.params[1].must_equal("prod", state.store)
+
+    def test_inequality_excludes_constant(self):
+        source = 'if [ "$1" != "x" ]; then OUT=ne; fi'
+        result = run(source, n_args=1)
+        for state in result.states:
+            if (state.get_var("OUT") or SymString.empty()).concrete_value() == "ne":
+                assert not state.params[1].could_equal("x", state.store)
+
+    def test_sequential_refinements_accumulate(self):
+        source = (
+            'if [ -n "$1" ]; then if [ "$1" != "bad" ]; then OUT=ok; fi; fi'
+        )
+        result = run(source, n_args=1)
+        for state in result.states:
+            if (state.get_var("OUT") or SymString.empty()).concrete_value() == "ok":
+                lang = state.params[1].to_regex(state.store)
+                assert not lang.matches("")
+                assert not lang.matches("bad")
+                assert lang.matches("good")
+
+
+class TestLoopsAndFunctions:
+    def test_while_respects_bound(self):
+        engine = Engine(checkers=default_checkers(), max_loop=3)
+        result = engine.run_script("while [ -f /go ]; do X=ran; done")
+        assert result.states  # terminates
+
+    def test_recursive_function_bounded(self):
+        result = run("f() { f; }\nf")
+        assert result.states  # call-depth bound prevents divergence
+
+    def test_function_shadows_spec(self):
+        # a user-defined rm must not trigger deletion checking
+        result = run('rm() { echo "not really"; }\nrm -rf /')
+        assert not result.has("dangerous-deletion")
+
+    def test_nested_function_calls(self):
+        source = "inner() { OUT=$1; }\nouter() { inner \"$1-x\"; }\nouter a"
+        result = run(source)
+        assert final_var(result, "OUT") == {"a-x"}
+
+    def test_until_loop_negates(self):
+        result = run("until [ -f /done ]; do X=wait; done")
+        assert result.states
+
+
+class TestMergingMechanics:
+    def test_convergent_branches_merge(self):
+        engine = Engine(checkers=default_checkers(), prune=True)
+        source = "\n".join(
+            f"if [ -f /f{i} ]; then echo probe; fi" for i in range(6)
+        )
+        result = engine.run_script(source)
+        assert len(result.states) == 1
+        assert result.paths_merged >= 6
+
+    def test_distinct_env_not_merged(self):
+        engine = Engine(checkers=default_checkers(), prune=True)
+        result = engine.run_script('if [ -f /f ]; then X=a; else X=b; fi')
+        assert len(result.states) == 2
+
+    def test_prune_off_keeps_worlds(self):
+        engine = Engine(checkers=default_checkers(), prune=False)
+        source = "\n".join(
+            f"if [ -f /f{i} ]; then echo probe; fi" for i in range(4)
+        )
+        result = engine.run_script(source)
+        assert len(result.states) == 16
+
+    def test_diagnostics_survive_merging(self):
+        engine = Engine(checkers=default_checkers(), prune=True)
+        source = 'if [ -f /f ]; then rm -rf /; fi\necho done'
+        result = engine.run_script(source)
+        assert result.has("dangerous-deletion")
+
+
+class TestHeredocs:
+    def test_heredoc_parses_and_runs(self):
+        result = run("cat <<EOF\nline one\nline two\nEOF\necho after")
+        assert result.states
+
+    def test_heredoc_does_not_touch_fs(self):
+        result = run("cat <<EOF\nbody\nEOF")
+        assert not result.has("always-fails")
+
+
+class TestDynamicCommands:
+    def test_dynamic_name_flagged(self):
+        result = run('CMD=ls\n"$CMD" /tmp', n_args=0)
+        # $CMD holds a concrete value, so this is NOT dynamic
+        assert not result.has("dynamic-command")
+
+    def test_truly_dynamic_name(self):
+        result = run('"$1" /tmp', n_args=1)
+        assert result.has("dynamic-command")
+
+    def test_concrete_var_command_dispatches(self):
+        result = run("CMD=rm\n$CMD -rf /\n")
+        assert result.has("dangerous-deletion")
+
+
+class TestCompoundPipelineStages:
+    def test_subshell_stage(self):
+        result = run("(echo a; echo b) | sort")
+        assert result.states
+        assert not result.has("always-fails")
+
+    def test_brace_stage(self):
+        result = run("{ echo a; echo b; } | wc -l")
+        assert result.states
+
+    def test_compound_stage_effects_apply(self):
+        result = run("(touch /made) | cat\ncat /made")
+        assert not result.has("always-fails")
+
+    def test_mixed_pipeline_untyped_not_crashing(self):
+        result = run("if true; then echo x; fi | sort")
+        assert result.states
+
+    def test_while_read_pipeline(self):
+        result = run("cat /etc/passwd | while read -r line; do OUT=$line; done")
+        assert result.states

@@ -1,0 +1,247 @@
+"""Unit tests for the symbolic engine: assignments, status, composition."""
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def run(source, n_args=0, **kwargs):
+    return Engine(checkers=default_checkers(), **kwargs).run_script(source, n_args=n_args)
+
+
+def final_var(result, name):
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestAssignments:
+    def test_simple_assignment(self):
+        result = run("FOO=bar")
+        assert final_var(result, "FOO") == {"bar"}
+
+    def test_assignment_concatenation(self):
+        result = run('A=x\nB="$A$A"')
+        assert final_var(result, "B") == {"xx"}
+
+    def test_assignment_from_cmdsub(self):
+        result = run('OUT="$(echo hello)"')
+        assert final_var(result, "OUT") == {"hello"}
+
+    def test_cmdsub_strips_trailing_newline(self):
+        result = run('OUT="$(echo hi)"')
+        assert final_var(result, "OUT") == {"hi"}
+
+    def test_nested_cmdsub(self):
+        result = run('OUT="$(echo "$(echo deep)")"')
+        assert final_var(result, "OUT") == {"deep"}
+
+    def test_quoted_spaces_preserved(self):
+        result = run("MSG='a  b'")
+        assert final_var(result, "MSG") == {"a  b"}
+
+    def test_unset_expands_empty(self):
+        result = run('NOPE=x\nunset NOPE\nOUT="pre${NOPE}post"')
+        assert final_var(result, "OUT") == {"prepost"}
+
+    def test_undefined_variable_warned(self):
+        # X is assigned somewhere in the script, so a path where it is
+        # unset is a genuine maybe-unset bug (not an environment variable)
+        result = run("if false; then X=1; fi\necho $X")
+        assert result.has("undefined-variable")
+
+    def test_never_assigned_var_is_environment(self):
+        result = run("echo $PREFIX_FROM_ENV")
+        assert result.has("env-variable")
+        assert not result.has("undefined-variable")
+        for state in result.states:
+            value = state.get_var("PREFIX_FROM_ENV")
+            assert value is not None and value.single_var() is not None
+
+    def test_defined_variable_not_warned(self):
+        result = run("X=1\necho $X")
+        assert not result.has("undefined-variable")
+
+
+class TestStatusAndComposition:
+    def test_true_false(self):
+        assert {s.status for s in run("true").states} == {0}
+        assert {s.status for s in run("false").states} == {1}
+
+    def test_sequence_status_is_last(self):
+        assert {s.status for s in run("false; true").states} == {0}
+
+    def test_and_short_circuit(self):
+        result = run("false && OUT=ran")
+        assert final_var(result, "OUT") == set()
+
+    def test_and_executes_on_success(self):
+        result = run("true && OUT=ran")
+        assert final_var(result, "OUT") == {"ran"}
+
+    def test_or_executes_on_failure(self):
+        result = run("false || OUT=rescued")
+        assert final_var(result, "OUT") == {"rescued"}
+
+    def test_or_skips_on_success(self):
+        result = run("true || OUT=no")
+        assert final_var(result, "OUT") == set()
+
+    def test_negated_pipeline(self):
+        assert {s.status for s in run("! false").states} == {0}
+        assert {s.status for s in run("! true").states} == {1}
+
+    def test_exit_halts(self):
+        result = run("exit 3\nOUT=unreachable")
+        assert final_var(result, "OUT") == set()
+        assert {s.status for s in result.states} == {3}
+
+    def test_background_returns_zero(self):
+        assert {s.status for s in run("false &").states} == {0}
+
+    def test_subshell_env_isolated(self):
+        result = run("X=outer\n(X=inner; echo $X)\nOUT=$X")
+        assert final_var(result, "OUT") == {"outer"}
+
+    def test_subshell_cd_isolated(self):
+        result = run("cd /tmp\n(cd /etc)\nOUT=$PWD")
+        # the subshell's cd cannot leak; cwd after is /tmp on the branch
+        # where the outer cd succeeded
+        assert "/tmp" in final_var(result, "OUT")
+
+    def test_brace_group_env_shared(self):
+        result = run("{ X=set; }\nOUT=$X")
+        assert final_var(result, "OUT") == {"set"}
+
+
+class TestControlFlow:
+    def test_if_both_branches_explored(self):
+        result = run('if [ -f /etc/x ]; then OUT=yes; else OUT=no; fi')
+        assert final_var(result, "OUT") == {"yes", "no"}
+
+    def test_if_concrete_condition(self):
+        result = run('if true; then OUT=yes; else OUT=no; fi')
+        assert final_var(result, "OUT") == {"yes"}
+
+    def test_elif(self):
+        result = run('if false; then OUT=a; elif true; then OUT=b; else OUT=c; fi')
+        assert final_var(result, "OUT") == {"b"}
+
+    def test_if_without_else_succeeds(self):
+        result = run("if false; then OUT=x; fi")
+        assert {s.status for s in result.states} == {0}
+
+    def test_for_iterates(self):
+        result = run("for f in a b; do LAST=$f; done")
+        assert final_var(result, "LAST") == {"b"}
+
+    def test_for_empty_list(self):
+        result = run("for f in; do LAST=$f; done")
+        assert final_var(result, "LAST") == set()
+
+    def test_while_false_never_runs(self):
+        result = run("while false; do OUT=ran; done")
+        assert final_var(result, "OUT") == set()
+
+    def test_while_explores_body(self):
+        result = run("while [ -f /flag ]; do OUT=ran; done")
+        assert "ran" in final_var(result, "OUT")
+
+    def test_until_loop(self):
+        result = run("until true; do OUT=never; done")
+        assert final_var(result, "OUT") == set()
+
+    def test_case_concrete_match(self):
+        result = run('X=hello\ncase $X in h*) OUT=matched ;; *) OUT=other ;; esac')
+        assert final_var(result, "OUT") == {"matched"}
+
+    def test_case_fallthrough_to_star(self):
+        result = run('X=zzz\ncase $X in a) OUT=a ;; *) OUT=star ;; esac')
+        assert final_var(result, "OUT") == {"star"}
+
+    def test_case_symbolic_subject_forks(self):
+        result = run('case "$1" in a) OUT=a ;; b) OUT=b ;; esac', n_args=1)
+        assert final_var(result, "OUT") >= {"a", "b"}
+
+    def test_function_definition_and_call(self):
+        result = run("f() { OUT=called; }\nf")
+        assert final_var(result, "OUT") == {"called"}
+
+    def test_function_args(self):
+        result = run('f() { OUT=$1; }\nf hello')
+        assert final_var(result, "OUT") == {"hello"}
+
+    def test_function_return(self):
+        result = run("f() { return 2; OUT=unreached; }\nf")
+        assert final_var(result, "OUT") == set()
+        assert {s.status for s in result.states} == {2}
+
+
+class TestBuiltins:
+    def test_echo_output_captured(self):
+        result = run('OUT="$(echo one two)"')
+        assert final_var(result, "OUT") == {"one two"}
+
+    def test_echo_n(self):
+        result = run('OUT="$(echo -n x)"')
+        assert final_var(result, "OUT") == {"x"}
+
+    def test_pwd_reflects_cd(self):
+        result = run('cd /srv/app\nOUT="$(pwd)"')
+        assert "/srv/app" in final_var(result, "OUT")
+
+    def test_cd_updates_pwd_var(self):
+        result = run("cd /opt\nOUT=$PWD")
+        assert "/opt" in final_var(result, "OUT")
+
+    def test_cd_failure_branch_exists(self):
+        result = run('cd "$1"', n_args=1)
+        assert {s.status for s in result.states} >= {0, 1}
+
+    def test_export(self):
+        result = run("export NAME=value\nOUT=$NAME")
+        assert final_var(result, "OUT") == {"value"}
+
+    def test_unset(self):
+        result = run("X=1\nunset X\necho $X")
+        assert result.has("undefined-variable")
+
+    def test_shift(self):
+        result = run('shift\nOUT=$1', n_args=2)
+        values = set()
+        for state in result.states:
+            value = state.get_var("1")
+            if value is not None:
+                values.add(state.store.label(value.single_var()))
+        assert "$2" in values
+
+    def test_read_forks_eof(self):
+        result = run("read LINE")
+        assert {s.status for s in result.states} == {0, 1}
+
+    def test_test_string_equality(self):
+        result = run('X=a\nif [ "$X" = "a" ]; then OUT=eq; else OUT=ne; fi')
+        assert final_var(result, "OUT") == {"eq"}
+
+    def test_test_numeric(self):
+        result = run('if [ 3 -gt 2 ]; then OUT=yes; fi')
+        assert final_var(result, "OUT") == {"yes"}
+
+    def test_test_z_refines(self):
+        result = run('if [ -z "$1" ]; then OUT=empty; else OUT=full; fi', n_args=1)
+        assert final_var(result, "OUT") == {"empty", "full"}
+        # on the "full" branch, $1 can no longer be empty
+        for state in result.states:
+            if state.get_var("OUT") and state.get_var("OUT").concrete_value() == "full":
+                assert not state.params[1].could_be_empty(state.store)
+
+    def test_arith_expansion_is_numeric(self):
+        result = run('OUT=$((1+2))')
+        for state in result.states:
+            value = state.get_var("OUT")
+            assert value.to_regex(state.store).matches("3")
+            assert not value.to_regex(state.store).matches("x")

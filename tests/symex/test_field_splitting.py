@@ -1,0 +1,110 @@
+"""Tests for POSIX field splitting of unquoted expansions."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def run(source, n_args=0):
+    return Engine(checkers=default_checkers()).run_script(source, n_args=n_args)
+
+
+def final_var(result, name):
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestSplitting:
+    def test_flags_variable_splits(self):
+        # rm receives -r and -f as separate arguments: the recursive
+        # clause applies and the directory is deleted
+        result = run('FLAGS="-r -f"\nmkdir -p /d/sub\nrm $FLAGS /d\ncat /d/sub/x')
+        assert result.has("always-fails")
+
+    def test_quoted_does_not_split(self):
+        result = run('X="a b"\nf() { OUT=$#; }\nf "$X"')
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_unquoted_splits_into_args(self):
+        result = run('X="a b"\nf() { OUT=$#; }\nf $X')
+        assert final_var(result, "OUT") == {"2"}
+
+    def test_attached_literal_joins_first_field(self):
+        result = run('X="a b"\nf() { OUT=$1; }\nf pre$X')
+        assert final_var(result, "OUT") == {"prea"}
+
+    def test_quoted_inner_space_survives(self):
+        result = run("X=c\nf() { OUT=$#; }\nf 'a b'$X")
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_empty_unquoted_vanishes(self):
+        result = run('E=""\nf() { OUT=$#; }\nf $E x')
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_empty_quoted_survives(self):
+        result = run('E=""\nf() { OUT=$#; }\nf "$E" x')
+        assert final_var(result, "OUT") == {"2"}
+
+    def test_whitespace_only_vanishes(self):
+        result = run('W="   "\nf() { OUT=$#; }\nf $W x')
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_leading_trailing_whitespace(self):
+        result = run('X=" a "\nf() { OUT=$1; }\nf $X')
+        assert final_var(result, "OUT") == {"a"}
+
+    def test_for_loop_over_split_list(self):
+        result = run('LIST="one two"\nfor w in $LIST; do OUT=$w; done')
+        assert final_var(result, "OUT") == {"two"}
+
+    def test_symbolic_not_split(self):
+        # an unconstrained value may contain spaces; we conservatively
+        # keep it as one argument
+        result = run('f() { OUT=$#; }\nf $1', n_args=1)
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_assignment_never_splits(self):
+        result = run('X="a b"\nY=$X\nf() { OUT=$#; }\nf "$Y"')
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_cmdsub_splits(self):
+        result = run('f() { OUT=$#; }\nf $(echo one two)')
+        assert final_var(result, "OUT") == {"2"}
+
+    def test_quoted_cmdsub_does_not_split(self):
+        result = run('f() { OUT=$#; }\nf "$(echo one two)"')
+        assert final_var(result, "OUT") == {"1"}
+
+
+SH = shutil.which("sh")
+
+
+@pytest.mark.skipif(SH is None, reason="no /bin/sh")
+class TestDifferentialSplitting:
+    CASES = [
+        ('X="a b"', "$X"),
+        ('X="a b"', '"$X"'),
+        ('X=" a  b "', "$X"),
+        ('X=""', "$X x"),
+        ('X=""', '"$X" x'),
+        ('X="a b"', "pre$X"),
+        ("X=c", "'a b'$X"),
+        ('X="a b c"', "$X tail"),
+    ]
+
+    @pytest.mark.parametrize("setup,args", CASES)
+    def test_argument_count_agrees(self, setup, args):
+        script = f"{setup}\nf() {{ OUT=$#; }}\nf {args}\n"
+        expected = subprocess.run(
+            [SH, "-c", script + 'printf %s "$OUT"'],
+            capture_output=True, text=True, timeout=5,
+        ).stdout
+        assert final_var(run(script), "OUT") == {expected}

@@ -1,0 +1,215 @@
+"""The paper's worked examples, end to end through the engine.
+
+These are the core reproduction targets (DESIGN.md E1-E6): each figure
+of the paper must produce exactly the analysis outcome the paper claims.
+"""
+
+import pytest
+
+from repro.checkers import PlatformChecker, default_checkers
+from repro.symex import Engine
+
+FIG1 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+# ... more lines ...
+rm -fr "$STEAMROOT"/*
+"""
+
+FIG2 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+  rm -fr "$STEAMROOT"/*
+else
+  echo "Bad script path: $0"; exit 1
+fi
+"""
+
+FIG3 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+
+if [ "$(realpath "$STEAMROOT/")" = "/" ]; then
+  rm -fr "$STEAMROOT"/*
+else
+  echo "Bad script path: $0"; exit 1
+fi
+"""
+
+FIG5 = """#!/bin/sh
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"/
+case $(lsb_release -a | grep '^desc' | cut -f 2) in
+  Debian) SUFFIX=".config/steam" ;;
+  *Linux) SUFFIX=".steam" ;;
+esac
+rm -fr $STEAMROOT$SUFFIX
+"""
+
+FIG5_FIXED = FIG5.replace("'^desc'", "'^Desc'")
+
+
+def analyze(source, n_args=0, **kwargs):
+    engine = Engine(checkers=default_checkers(), **kwargs)
+    return engine.run_script(source, n_args=n_args)
+
+
+class TestFig1:
+    """E1: the original Steam bug must be flagged."""
+
+    def test_dangerous_deletion_flagged(self):
+        result = analyze(FIG1)
+        assert result.has("dangerous-deletion")
+
+    def test_empty_steamroot_is_definite(self):
+        result = analyze(FIG1)
+        always = [d for d in result.by_code("dangerous-deletion") if d.always]
+        assert always, "the cd-failed path deletes /* unconditionally"
+
+    def test_both_cd_outcomes_explored(self):
+        result = analyze(FIG1)
+        statuses = {s.status for s in result.states}
+        assert len(result.states) >= 2
+
+
+class TestFig2:
+    """E2: the guarded fix is safe — no deletion warning on any path."""
+
+    def test_no_dangerous_deletion(self):
+        result = analyze(FIG2)
+        assert not result.has("dangerous-deletion")
+        assert not result.has("home-deletion")
+
+    def test_guard_refines_both_branches(self):
+        result = analyze(FIG2)
+        # some path reaches the else (exit 1), some reaches rm
+        assert {s.status for s in result.states} >= {0, 1}
+
+
+class TestFig3:
+    """E3: the inverted guard (one character away) must be flagged."""
+
+    def test_dangerous_deletion_flagged(self):
+        result = analyze(FIG3)
+        assert result.has("dangerous-deletion")
+
+    def test_single_character_difference(self):
+        assert len(FIG2) - len(FIG3) == 1  # "!=" vs "="
+
+
+class TestFig5:
+    """E4: stream reasoning catches the dead grep filter."""
+
+    def test_dead_stream(self):
+        result = analyze(FIG5)
+        dead = result.by_code("dead-stream")
+        assert dead and dead[0].always
+        assert "grep" in dead[0].message
+
+    def test_dead_case_arms(self):
+        result = analyze(FIG5)
+        arms = result.by_code("dead-case-branch")
+        assert len(arms) == 2
+
+    def test_suffix_never_set(self):
+        result = analyze(FIG5)
+        assert result.has("undefined-variable")
+
+    def test_same_deletion_bug_survives(self):
+        result = analyze(FIG5)
+        assert result.has("dangerous-deletion")
+
+    def test_corrected_filter_is_live(self):
+        result = analyze(FIG5_FIXED)
+        assert not result.has("dead-stream")
+        assert not result.has("dead-case-branch")
+
+
+class TestSemanticVariants:
+    """E5: robustness to semantically-equivalent rewrites (§3)."""
+
+    VARIANTS = [
+        # the paper's own variant
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nc="/*"; rm -fr $STEAMROOT$c\n',
+        # unquoted expansion
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -fr $STEAMROOT/*\n',
+        # flags reordered and merged
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nrm -rf "$STEAMROOT"/*\n',
+        # split across two variables
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\na=$STEAMROOT\nrm -fr "$a"/*\n',
+        # deletion via an intermediate assignment of the whole argument
+        'STEAMROOT="$(cd "${0%/*}" && echo $PWD)"\nt="$STEAMROOT/"\nrm -fr $t*\n',
+    ]
+
+    @pytest.mark.parametrize("source", VARIANTS)
+    def test_variant_flagged(self, source):
+        assert analyze(source).has("dangerous-deletion")
+
+
+class TestRmThenCat:
+    """E6: the §4 always-fail composition."""
+
+    SNIPPET = 'rm -fr "$1"\ncat "$1/config"\n'
+
+    def test_always_fails(self):
+        result = analyze(self.SNIPPET, n_args=1)
+        fails = result.by_code("always-fails")
+        assert fails and fails[0].always
+        assert "cat" in fails[0].message
+
+    def test_reversed_order_is_fine(self):
+        result = analyze('cat "$1/config"\nrm -fr "$1"\n', n_args=1)
+        assert not result.has("always-fails")
+
+    def test_recreate_between_is_fine(self):
+        source = 'rm -fr "$1"\nmkdir -p "$1"\ntouch "$1/config"\ncat "$1/config"\n'
+        result = analyze(source, n_args=1)
+        assert not result.has("always-fails")
+
+    def test_double_mkdir_always_fails(self):
+        result = analyze("mkdir /tmp/x\nmkdir /tmp/x\n")
+        assert result.has("always-fails")
+
+    def test_mkdir_p_twice_is_fine(self):
+        result = analyze("mkdir -p /tmp/x\nmkdir -p /tmp/x\n")
+        assert not result.has("always-fails")
+
+
+class TestIdempotence:
+    def test_mkdir_without_p(self):
+        result = analyze("mkdir /opt/app")
+        assert result.has("idempotence")
+
+    def test_mkdir_with_p(self):
+        result = analyze("mkdir -p /opt/app")
+        assert not result.has("idempotence")
+
+    def test_ln_without_f(self):
+        result = analyze("ln -s /a /b")
+        assert result.has("idempotence")
+
+
+class TestPlatform:
+    """E15: platform-dependence warnings (§5)."""
+
+    def run_for(self, source, targets):
+        checkers = default_checkers(platform_targets=targets)
+        return Engine(checkers=checkers).run_script(source)
+
+    def test_sed_i_not_portable_to_macos(self):
+        result = self.run_for("sed -i s/a/b/ file.txt", ["macos"])
+        assert result.has("platform-flag")
+
+    def test_sed_i_fine_on_linux(self):
+        result = self.run_for("sed -i s/a/b/ file.txt", ["linux"])
+        assert not result.has("platform-flag")
+
+    def test_readlink_f(self):
+        result = self.run_for("readlink -f /x", ["macos"])
+        assert result.has("platform-flag")
+
+    def test_date_v_is_bsd_only(self):
+        result = self.run_for("date -v +1d", ["linux"])
+        assert result.has("platform-flag")
+
+    def test_portable_script_clean(self):
+        result = self.run_for("grep x f | sort | head -n 3", ["linux", "macos"])
+        assert not result.has("platform-flag")

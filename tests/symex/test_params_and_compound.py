@@ -1,0 +1,102 @@
+"""Tests for "$@" field semantics and compound test expressions."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def run(source, n_args=0):
+    return Engine(checkers=default_checkers()).run_script(source, n_args=n_args)
+
+
+def final_var(result, name):
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestAtParams:
+    def test_quoted_at_preserves_count(self):
+        result = run('f() { OUT=$#; }\nf "$@"', n_args=3)
+        assert final_var(result, "OUT") == {"3"}
+
+    def test_at_with_no_args(self):
+        result = run('f() { OUT=$#; }\nf "$@"', n_args=0)
+        assert final_var(result, "OUT") == {"0"}
+
+    def test_at_forwards_symbolic_values(self):
+        result = run('f() { OUT=$2; }\nf "$@"', n_args=2)
+        for state in result.states:
+            value = state.get_var("OUT")
+            if value is not None:
+                assert value.single_var() is not None
+
+    def test_star_joins(self):
+        result = run('f() { OUT=$#; }\nf "$*"', n_args=2)
+        assert final_var(result, "OUT") == {"1"}
+
+    def test_wrapper_script_pattern(self):
+        # the classic argument-forwarding wrapper keeps deletion analysis
+        result = run('doit() { rm -rf "$1"; }\ndoit "$@"', n_args=1)
+        assert result.has("dangerous-deletion")
+
+
+class TestCompoundTest:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("[ a = a -a b = b ]", 0),
+            ("[ a = a -a b = c ]", 1),
+            ("[ a = b -a c = c ]", 1),
+            ("[ a = b -o c = c ]", 0),
+            ("[ a = b -o c = d ]", 1),
+            ("[ a = a -o c = d ]", 0),
+            ("[ 1 -lt 2 -a 3 -lt 4 ]", 0),
+            ("[ a = a -a b = b -a c = c ]", 0),
+            ("[ a = x -o b = x -o c = c ]", 0),
+            # -a binds tighter than -o: F -a F -o T == (F -a F) -o T == T
+            ("[ a = b -a c = d -o e = e ]", 0),
+            ("! [ a = a -a b = b ]", 1),
+        ],
+    )
+    def test_compound_status(self, expr, expected):
+        result = run(expr)
+        assert {s.status for s in result.states} == {expected}, expr
+
+    def test_compound_refines(self):
+        source = 'if [ -n "$1" -a "$1" != "skip" ]; then OUT=go; fi'
+        result = run(source, n_args=1)
+        for state in result.states:
+            out = state.get_var("OUT")
+            if out is not None and out.concrete_value() == "go":
+                lang = state.params[1].to_regex(state.store)
+                assert not lang.matches("")
+                assert not lang.matches("skip")
+
+
+SH = shutil.which("sh")
+
+
+@pytest.mark.skipif(SH is None, reason="no /bin/sh")
+class TestDifferentialCompound:
+    EXPRS = [
+        "[ a = a -a b = b ]",
+        "[ a = b -o c = c ]",
+        "[ a = b -a c = d -o e = e ]",
+        "[ 1 -lt 2 -a 5 -gt 9 ]",
+    ]
+
+    @pytest.mark.parametrize("expr", EXPRS)
+    def test_agrees_with_sh(self, expr):
+        expected = subprocess.run(
+            [SH, "-c", expr], capture_output=True, timeout=5
+        ).returncode
+        result = run(expr)
+        assert {s.status for s in result.states} == {expected}

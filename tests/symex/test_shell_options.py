@@ -1,0 +1,99 @@
+"""Tests for `set -e` (errexit) and `set -u` (nounset) modeling."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def run(source, n_args=0):
+    return Engine(checkers=default_checkers()).run_script(source, n_args=n_args)
+
+
+def final_var(result, name):
+    values = set()
+    for state in result.states:
+        value = state.get_var(name)
+        if value is not None:
+            values.add(value.concrete_value())
+    return values
+
+
+class TestErrexit:
+    def test_failure_aborts(self):
+        result = run("set -e\nfalse\nOUT=unreachable")
+        assert final_var(result, "OUT") == set()
+
+    def test_success_continues(self):
+        result = run("set -e\ntrue\nOUT=reached")
+        assert final_var(result, "OUT") == {"reached"}
+
+    def test_without_e_continues(self):
+        result = run("false\nOUT=reached")
+        assert final_var(result, "OUT") == {"reached"}
+
+    def test_condition_context_exempt(self):
+        result = run("set -e\nif false; then OUT=then; else OUT=else; fi\nDONE=yes")
+        assert final_var(result, "DONE") == {"yes"}
+        assert final_var(result, "OUT") == {"else"}
+
+    def test_andor_left_exempt(self):
+        result = run("set -e\nfalse || OUT=rescued\nDONE=yes")
+        assert final_var(result, "DONE") == {"yes"}
+
+    def test_set_plus_e_disables(self):
+        result = run("set -e\nset +e\nfalse\nOUT=reached")
+        assert final_var(result, "OUT") == {"reached"}
+
+    def test_symbolic_failure_branch_halts(self):
+        # a command with unknown status: the failing world aborts, the
+        # succeeding world continues
+        result = run('set -e\ncd "$1"\nOUT=after', n_args=1)
+        values = final_var(result, "OUT")
+        assert "after" in values
+        halted = [s for s in result.states if s.halted]
+        assert halted
+
+
+class TestNounset:
+    def test_unset_aborts(self):
+        result = run("set -u\nX=1\nunset X\necho $X\nOUT=unreachable")
+        assert result.has("nounset-abort")
+        assert final_var(result, "OUT") == set()
+
+    def test_set_variable_fine(self):
+        result = run("set -u\nX=1\necho $X\nOUT=ok")
+        assert final_var(result, "OUT") == {"ok"}
+
+    def test_default_expansion_protects(self):
+        result = run('set -u\nX=1\nunset X\nOUT="${X:-fallback}"')
+        assert not result.has("nounset-abort")
+        assert final_var(result, "OUT") == {"fallback"}
+
+
+SH = shutil.which("sh")
+
+
+@pytest.mark.skipif(SH is None, reason="no /bin/sh")
+class TestDifferentialOptions:
+    def run_sh(self, script):
+        return subprocess.run(
+            [SH, "-c", script], capture_output=True, text=True, timeout=5
+        )
+
+    def test_errexit_agrees(self):
+        script = 'set -e\nfalse\necho reached'
+        completed = self.run_sh(script)
+        assert completed.stdout == ""  # sh aborts before echo
+        result = run(script)
+        assert all(s.halted or s.status != 0 for s in result.states)
+
+    def test_errexit_condition_agrees(self):
+        script = 'set -e\nif false; then :; fi\necho reached'
+        completed = self.run_sh(script)
+        assert "reached" in completed.stdout
+        result = run(script + "\nOUT=done")
+        assert final_var(result, "OUT") == {"done"}

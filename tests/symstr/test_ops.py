@@ -1,0 +1,125 @@
+"""Unit tests for symbolic parameter-expansion operators."""
+
+from repro.rlang import Regex
+from repro.shell.glob import glob_to_regex
+from repro.symstr import ConstraintStore, SymString, strip_prefix, strip_suffix
+
+SLASH_STAR = glob_to_regex("/*")
+PATH_RE = Regex.compile(r"/?([^/\n]*/)*[^/\n]+")
+
+
+class TestConcreteSuffix:
+    def test_smallest_suffix_strips_from_last_slash(self):
+        s = SymString.lit("/home/jcarb/.steam/upd.sh")
+        [case] = strip_suffix(s, SLASH_STAR, longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == "/home/jcarb/.steam"
+
+    def test_largest_suffix_strips_from_first_slash(self):
+        s = SymString.lit("/home/jcarb/upd.sh")
+        [case] = strip_suffix(s, SLASH_STAR, longest=True, store=ConstraintStore())
+        assert case.result.concrete_value() == ""
+
+    def test_no_match_unchanged(self):
+        # The paper's failure mode: a path "lacking any directories".
+        s = SymString.lit("upd.sh")
+        [case] = strip_suffix(s, SLASH_STAR, longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == "upd.sh"
+
+    def test_single_leading_slash_yields_empty(self):
+        s = SymString.lit("/upd.sh")
+        [case] = strip_suffix(s, SLASH_STAR, longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == ""
+
+    def test_extension_strip(self):
+        s = SymString.lit("archive.tar.gz")
+        [case] = strip_suffix(s, glob_to_regex(".*"), longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == "archive.tar"
+        [case] = strip_suffix(s, glob_to_regex(".*"), longest=True, store=ConstraintStore())
+        assert case.result.concrete_value() == "archive"
+
+
+class TestConcretePrefix:
+    def test_smallest_prefix(self):
+        s = SymString.lit("/a/b/c")
+        [case] = strip_prefix(s, glob_to_regex("*/"), longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == "a/b/c"
+
+    def test_largest_prefix(self):
+        s = SymString.lit("/a/b/c")
+        [case] = strip_prefix(s, glob_to_regex("*/"), longest=True, store=ConstraintStore())
+        assert case.result.concrete_value() == "c"
+
+    def test_no_match(self):
+        s = SymString.lit("abc")
+        [case] = strip_prefix(s, glob_to_regex("x*"), longest=False, store=ConstraintStore())
+        assert case.result.concrete_value() == "abc"
+
+
+class TestSymbolicSuffix:
+    def test_two_cases_for_path_var(self):
+        """${0%/*} on a path-constrained $0 splits exactly as in §3."""
+        store = ConstraintStore()
+        v0 = store.fresh(PATH_RE, label="$0")
+        cases = strip_suffix(SymString.var(v0), SLASH_STAR, longest=False, store=store)
+        assert len(cases) == 2
+        by_note = {c.note: c for c in cases}
+        no_match = by_note["suffix pattern did not match"]
+        matched = by_note["suffix pattern matched"]
+
+        # no-match: $0 is refined to slash-free names like "upd.sh"
+        [(vid, refined)] = no_match.refinements
+        assert vid == v0
+        assert refined.matches("upd.sh")
+        assert not refined.matches("/home/x/upd.sh")
+        assert no_match.result.single_var() == v0
+
+        # match: the result may be EMPTY — the Steam bug's root cause
+        result_lang = matched.result.to_regex(store)
+        assert result_lang.matches("")
+        assert result_lang.matches("/home/jcarb/.steam")
+
+    def test_match_case_tracks_provenance(self):
+        store = ConstraintStore()
+        v0 = store.fresh(PATH_RE, label="$0")
+        cases = strip_suffix(SymString.var(v0), SLASH_STAR, longest=False, store=store)
+        matched = next(c for c in cases if "matched" in c.note and "not" not in c.note)
+        rvid = matched.result.single_var()
+        assert store.provenance(rvid) == ("strip_suffix", v0)
+
+    def test_impossible_case_omitted(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[a-z]+"), label="X")  # never contains '/'
+        cases = strip_suffix(SymString.var(v), SLASH_STAR, longest=False, store=store)
+        assert len(cases) == 1
+        assert cases[0].note == "suffix pattern did not match"
+
+    def test_always_matching_case_omits_no_match(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("/[a-z]*"), label="X")  # always starts with '/'
+        cases = strip_suffix(SymString.var(v), SLASH_STAR, longest=False, store=store)
+        assert len(cases) == 1
+        assert "matched" in cases[0].note
+
+    def test_mixed_value_overapproximates(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[a-z]+"), label="X")
+        value = SymString.lit("dir/") + SymString.var(v)
+        cases = strip_suffix(value, SLASH_STAR, longest=False, store=store)
+        assert len(cases) == 1
+        lang = cases[0].result.to_regex(store)
+        assert lang.matches("dir")  # suffix "/abc" stripped
+
+
+class TestSymbolicPrefix:
+    def test_prefix_cases(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("(https?://)?[a-z.]+"), label="url")
+        cases = strip_prefix(
+            SymString.var(v), glob_to_regex("http*://"), longest=False, store=store
+        )
+        notes = {c.note for c in cases}
+        assert "prefix pattern matched" in notes
+        assert "prefix pattern did not match" in notes
+        matched = next(c for c in cases if c.note == "prefix pattern matched")
+        lang = matched.result.to_regex(store)
+        assert lang.matches("example.com")

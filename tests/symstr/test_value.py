@@ -1,0 +1,136 @@
+"""Unit tests for symbolic strings and the constraint store."""
+
+from repro.rlang import Regex
+from repro.symstr import ConstraintStore, LitAtom, SymString, VarAtom
+
+
+class TestConstruction:
+    def test_lit(self):
+        s = SymString.lit("abc")
+        assert s.is_concrete()
+        assert s.concrete_value() == "abc"
+
+    def test_empty_lit_has_no_atoms(self):
+        assert SymString.lit("").atoms == ()
+        assert SymString.lit("").concrete_value() == ""
+
+    def test_var(self):
+        store = ConstraintStore()
+        v = store.fresh(label="X")
+        s = SymString.var(v)
+        assert not s.is_concrete()
+        assert s.concrete_value() is None
+        assert s.variables() == [v]
+        assert s.single_var() == v
+
+    def test_concat_merges_literals(self):
+        s = SymString.lit("a") + SymString.lit("b")
+        assert s.atoms == (LitAtom("ab"),)
+
+    def test_concat_mixed(self):
+        store = ConstraintStore()
+        v = store.fresh()
+        s = SymString.lit("pre") + SymString.var(v) + SymString.lit("post")
+        assert len(s.atoms) == 3
+        assert s.single_var() is None
+
+    def test_empty_literal_dropped_in_concat(self):
+        store = ConstraintStore()
+        v = store.fresh()
+        s = SymString.lit("") + SymString.var(v)
+        assert s.atoms == (VarAtom(v),)
+
+
+class TestSemantics:
+    def test_to_regex_concrete(self):
+        store = ConstraintStore()
+        assert SymString.lit("hi").to_regex(store).matches("hi")
+        assert not SymString.lit("hi").to_regex(store).matches("ho")
+
+    def test_to_regex_with_constraint(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[0-9]+"))
+        s = SymString.lit("n=") + SymString.var(v)
+        lang = s.to_regex(store)
+        assert lang.matches("n=42")
+        assert not lang.matches("n=x")
+
+    def test_could_equal(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("a*"))
+        assert SymString.var(v).could_equal("aaa", store)
+        assert SymString.var(v).could_equal("", store)
+        assert not SymString.var(v).could_equal("b", store)
+
+    def test_could_be_empty(self):
+        store = ConstraintStore()
+        maybe = store.fresh(Regex.compile("(x+)?"))
+        never = store.fresh(Regex.compile("x+"))
+        assert SymString.var(maybe).could_be_empty(store)
+        assert not SymString.var(never).could_be_empty(store)
+
+    def test_must_equal(self):
+        store = ConstraintStore()
+        assert SymString.lit("x").must_equal("x", store)
+        assert not SymString.lit("x").must_equal("y", store)
+        pinned = store.fresh(Regex.literal("only"))
+        assert SymString.var(pinned).must_equal("only", store)
+
+    def test_could_and_must_match(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[0-9]+"))
+        digits = Regex.compile(r"\d+")
+        letters = Regex.compile("[a-z]+")
+        s = SymString.var(v)
+        assert s.could_match(digits, store)
+        assert s.must_match(digits, store)
+        assert not s.could_match(letters, store)
+
+    def test_describe(self):
+        store = ConstraintStore()
+        v = store.fresh(label="$HOME")
+        s = SymString.var(v) + SymString.lit("/.steam")
+        assert store.label(v) in s.describe(store)
+        assert "/.steam" in s.describe(store)
+
+
+class TestStore:
+    def test_refine_narrows(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[a-z]+"))
+        store.refine(v, Regex.compile(".*oo.*"))
+        assert SymString.var(v).could_equal("foo", store)
+        assert not SymString.var(v).could_equal("bar", store)
+
+    def test_refine_to_empty_is_infeasible(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("[a-z]+"))
+        store.refine(v, Regex.compile("[0-9]+"))
+        assert not store.is_feasible(v)
+
+    def test_exclude(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("a|b"))
+        store.exclude(v, Regex.literal("a"))
+        assert not SymString.var(v).could_equal("a", store)
+        assert SymString.var(v).could_equal("b", store)
+
+    def test_fork_isolation(self):
+        store = ConstraintStore()
+        v = store.fresh(Regex.compile("a|b"))
+        forked = store.fork()
+        forked.refine(v, Regex.literal("a"))
+        assert SymString.var(v).could_equal("b", store)
+        assert not SymString.var(v).could_equal("b", forked)
+
+    def test_provenance(self):
+        store = ConstraintStore()
+        base = store.fresh(label="X")
+        derived = store.fresh(provenance=("strip_suffix", base))
+        assert store.provenance(derived) == ("strip_suffix", base)
+        assert store.provenance(base) is None
+
+    def test_default_constraint_is_any(self):
+        store = ConstraintStore()
+        v = store.fresh()
+        assert SymString.var(v).could_equal("anything\nat all", store)
