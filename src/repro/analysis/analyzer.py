@@ -8,6 +8,8 @@ from typing import List, Optional, Sequence
 from ..checkers import Checker, default_checkers
 from ..diag import Diagnostic, dedupe
 from ..lint import lint as run_lint
+from ..obs import get_recorder
+from ..shell import parse as parse_shell
 from ..shell.lexer import ShellSyntaxError
 from ..specs import SpecRegistry
 from ..symex import Engine
@@ -37,14 +39,35 @@ def analyze(
     - ``include_lint``: additionally run the syntactic baseline and merge
       its findings (tagged ``source="lint"``).
     """
-    annotations = parse_annotations(source) if use_annotations else AnnotationSet()
-    if annotation_files:
-        external = [load_annotation_file(path) for path in annotation_files]
-        annotations = merge_annotations(*external, annotations)
-    if annotations.n_args is not None:
-        n_args = annotations.n_args
-    if annotations.platforms:
-        platform_targets = annotations.platforms
+    recorder = get_recorder()
+
+    with recorder.span("analyze.parse"):
+        annotations = parse_annotations(source) if use_annotations else AnnotationSet()
+        if annotation_files:
+            external = [load_annotation_file(path) for path in annotation_files]
+            annotations = merge_annotations(*external, annotations)
+        if annotations.n_args is not None:
+            n_args = annotations.n_args
+        if annotations.platforms:
+            platform_targets = annotations.platforms
+        try:
+            ast = parse_shell(source)
+        except ShellSyntaxError as exc:
+            from ..diag import Severity
+
+            recorder.count("analyze.syntax_errors")
+            return Report(
+                source=source,
+                diagnostics=[
+                    Diagnostic(
+                        code="syntax-error",
+                        message=str(exc),
+                        severity=Severity.ERROR,
+                        pos=exc.pos,
+                        always=True,
+                    )
+                ],
+            )
 
     if checkers is None:
         checkers = default_checkers(platform_targets=platform_targets)
@@ -59,27 +82,13 @@ def analyze(
         initial_env=annotations.variables,
     )
 
-    try:
-        result = engine.run_script(source, n_args=n_args)
-    except ShellSyntaxError as exc:
-        from ..diag import Severity
-
-        return Report(
-            source=source,
-            diagnostics=[
-                Diagnostic(
-                    code="syntax-error",
-                    message=str(exc),
-                    severity=Severity.ERROR,
-                    pos=exc.pos,
-                    always=True,
-                )
-            ],
-        )
+    with recorder.span("analyze.symex"):
+        result = engine.run(ast, n_args=n_args)
 
     diagnostics = list(result.diagnostics)
     if include_lint:
-        diagnostics.extend(run_lint(source))
+        with recorder.span("analyze.lint"):
+            diagnostics.extend(run_lint(source))
 
     return Report(
         source=source,
@@ -87,4 +96,5 @@ def analyze(
         paths_explored=result.paths_explored,
         paths_merged=result.paths_merged,
         states=len(result.states),
+        truncations=result.truncations,
     )

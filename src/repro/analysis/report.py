@@ -17,6 +17,9 @@ class Report:
     paths_explored: int = 0
     paths_merged: int = 0
     states: int = 0
+    #: times the engine dropped states past its path budget (`max_fork`);
+    #: nonzero means the diagnostics may be incomplete
+    truncations: int = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -60,5 +63,7 @@ class Report:
             f"{self.paths_explored} path step(s) explored, "
             f"{self.states} final state(s)"
         )
+        if self.truncations:
+            summary += f" [truncated {self.truncations}x]"
         lines.append(summary)
         return "\n".join(lines)

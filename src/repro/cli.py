@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
+
+from . import __version__
 
 
 def _read_script(path: str) -> str:
@@ -23,6 +26,54 @@ def _read_script(path: str) -> str:
         return sys.stdin.read()
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags every entry point shares: --version, --stats, --trace."""
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print telemetry (counters, histograms, per-phase wall time) "
+        "to stderr after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON file (load it in "
+        "chrome://tracing or ui.perfetto.dev)",
+    )
+
+
+@contextmanager
+def _observed(prog: str, options: argparse.Namespace):
+    """Install a TraceRecorder for the run when --stats/--trace ask for one.
+
+    With neither flag the no-op recorder stays active and the instrumented
+    code paths cost ~nothing.
+    """
+    stats = getattr(options, "stats", False)
+    trace = getattr(options, "trace", None)
+    if not stats and not trace:
+        yield None
+        return
+    from .obs import TraceRecorder, use_recorder
+    from .obs.export import render_stats, write_chrome_trace
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        with recorder.span(prog):
+            yield recorder
+    if trace:
+        try:
+            write_chrome_trace(recorder, trace)
+        except OSError as exc:
+            print(f"{prog}: cannot write trace file: {exc}", file=sys.stderr)
+    if stats:
+        print(render_stats(recorder), file=sys.stderr)
 
 
 # ---------------------------------------------------------------------------
@@ -44,17 +95,19 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--errors-only", action="store_true", help="show only definite errors"
     )
+    _add_common_flags(parser)
     options = parser.parse_args(argv)
 
     from .analysis import analyze
     from .diag import Severity
 
-    report = analyze(
-        _read_script(options.script),
-        n_args=options.args,
-        platform_targets=options.platforms,
-        include_lint=options.lint,
-    )
+    with _observed("repro-analyze", options):
+        report = analyze(
+            _read_script(options.script),
+            n_args=options.args,
+            platform_targets=options.platforms,
+            include_lint=options.lint,
+        )
     min_severity = Severity.ERROR if options.errors_only else Severity.INFO
     print(report.render(min_severity=min_severity))
     return 1 if report.unsafe else 0
@@ -70,11 +123,13 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
         prog="repro-lint", description="Syntactic (ShellCheck-class) linting."
     )
     parser.add_argument("script")
+    _add_common_flags(parser)
     options = parser.parse_args(argv)
 
     from .lint import lint
 
-    diagnostics = lint(_read_script(options.script))
+    with _observed("repro-lint", options):
+        diagnostics = lint(_read_script(options.script))
     for diagnostic in diagnostics:
         print(diagnostic.render())
     return 1 if diagnostics else 0
@@ -94,18 +149,20 @@ def main_typeof(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "what", nargs=argparse.REMAINDER, help="a type name, or a command + args"
     )
+    _add_common_flags(parser)
     options = parser.parse_args(argv)
     if not options.what:
         parser.error("expected a type name or a command invocation")
 
     from .rtypes import named_type, named_type_names, signature_for
 
-    if len(options.what) == 1:
-        stream = named_type(options.what[0])
-        if stream is not None:
-            print(f"{options.what[0]} :: {stream.line.pattern}")
-            return 0
-    signature = signature_for(options.what)
+    with _observed("repro-typeof", options):
+        if len(options.what) == 1:
+            stream = named_type(options.what[0])
+            if stream is not None:
+                print(f"{options.what[0]} :: {stream.line.pattern}")
+                return 0
+        signature = signature_for(options.what)
     if signature is not None:
         print(signature)
         return 0
@@ -130,20 +187,22 @@ def main_monitor(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--type", required=True, help="expected output line type")
     parser.add_argument("command", nargs="+")
+    _add_common_flags(parser)
     options = parser.parse_args(argv)
 
     from .monitor import MonitorViolation, monitor_subprocess
     from .rtypes import type_of
 
     stdin_lines = [line.rstrip("\n") for line in sys.stdin] if not sys.stdin.isatty() else []
-    try:
-        for line in monitor_subprocess(
-            options.command, stdin_lines, type_of(options.type)
-        ):
-            print(line)
-    except MonitorViolation as violation:
-        print(f"monitor: halted: {violation}", file=sys.stderr)
-        return 2
+    with _observed("repro-monitor", options):
+        try:
+            for line in monitor_subprocess(
+                options.command, stdin_lines, type_of(options.type)
+            ):
+                print(line)
+        except MonitorViolation as violation:
+            print(f"monitor: halted: {violation}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -165,12 +224,16 @@ def main_verify(argv: Optional[List[str]] = None) -> int:
         nargs=argparse.REMAINDER,
         help="policy rules: --no-RW PATH, --no-W PATH, --no-R PATH",
     )
+    _add_common_flags(parser)
     options, unknown = parser.parse_known_args(argv)
 
     from .monitor import Verdict, parse_policy, verify_script
 
     rules = parse_policy(list(unknown) + list(options.policy))
-    result = verify_script(_read_script(options.script), rules, n_args=options.args)
+    with _observed("repro-verify", options):
+        result = verify_script(
+            _read_script(options.script), rules, n_args=options.args
+        )
     print(result.render())
     return 0 if result.verdict is Verdict.ALLOW else 1
 
@@ -191,12 +254,16 @@ def main_mine(argv: Optional[List[str]] = None) -> int:
         "--real", action="store_true", help="probe the real binary in a sandbox"
     )
     parser.add_argument("--max-flags", type=int, default=2)
+    _add_common_flags(parser)
     options = parser.parse_args(argv)
 
     from .miner import ModelProber, SubprocessProber, mine_command
 
     prober = SubprocessProber() if options.real else ModelProber()
-    spec = mine_command(options.command, prober=prober, max_flags=options.max_flags)
+    with _observed("repro-mine", options):
+        spec = mine_command(
+            options.command, prober=prober, max_flags=options.max_flags
+        )
     print(f"# mined specification for {spec.name}: {spec.summary}")
     for triple in spec.triples():
         print(triple)

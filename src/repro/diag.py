@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
@@ -9,14 +10,20 @@ from typing import List, Optional, Tuple
 from .shell.tokens import Position
 
 
+@functools.total_ordering
 class Severity(Enum):
     ERROR = "error"      # definite incorrectness on some/all paths
     WARNING = "warning"  # likely incorrectness
     INFO = "info"        # noteworthy (untyped command, platform hint)
 
-    def __lt__(self, other: "Severity") -> bool:
-        order = [Severity.INFO, Severity.WARNING, Severity.ERROR]
-        return order.index(self) < order.index(other)
+    @property
+    def rank(self) -> int:
+        return ("info", "warning", "error").index(self.value)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
 
 
 @dataclass(frozen=True)

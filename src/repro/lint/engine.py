@@ -5,18 +5,23 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..diag import Diagnostic, dedupe
+from ..obs import get_recorder
 from ..shell import parse
 from .rules import ALL_RULES, LintRule
 
 
 def lint(source: str, rules: Optional[Sequence[LintRule]] = None) -> List[Diagnostic]:
     """Run the syntactic rule set over a script."""
-    ast = parse(source)
-    active = list(rules) if rules is not None else ALL_RULES
-    diagnostics: List[Diagnostic] = []
-    for rule in active:
-        diagnostics.extend(rule.check(ast))
-    return dedupe(diagnostics)
+    recorder = get_recorder()
+    with recorder.span("lint.run"):
+        ast = parse(source)
+        active = list(rules) if rules is not None else ALL_RULES
+        diagnostics: List[Diagnostic] = []
+        for rule in active:
+            diagnostics.extend(rule.check(ast))
+        recorder.count("lint.rules_run", len(active))
+        recorder.count("lint.diagnostics", len(diagnostics))
+        return dedupe(diagnostics)
 
 
 def lint_codes(source: str) -> List[str]:

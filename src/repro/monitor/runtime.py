@@ -16,6 +16,7 @@ import subprocess
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
+from ..obs import get_recorder
 from ..rtypes import StreamType
 
 
@@ -38,6 +39,13 @@ class MonitorStats:
     lines_checked: int = 0
     violations: int = 0
 
+    def as_metrics(self) -> dict:
+        """The stats under their telemetry counter names (see repro.obs)."""
+        return {
+            "monitor.lines_checked": self.lines_checked,
+            "monitor.violations": self.violations,
+        }
+
 
 class StreamMonitor:
     """Checks each line of a stream against a regular type."""
@@ -57,9 +65,12 @@ class StreamMonitor:
 
     def check(self, line: str) -> bool:
         self.stats.lines_checked += 1
+        recorder = get_recorder()
+        recorder.count("monitor.lines_checked")
         ok = self.expected.admits(line)
         if not ok:
             self.stats.violations += 1
+            recorder.count("monitor.violations")
             if self.on_violation == "raise":
                 raise MonitorViolation(
                     line, self.stats.lines_checked, self.expected, self.where
@@ -116,26 +127,27 @@ def monitor_subprocess(
     bad data propagates (the §4 "halt the execution of a script about to
     perform a dangerous action" behaviour, applied to streams).
     """
-    proc = subprocess.Popen(
-        list(argv),
-        stdin=subprocess.PIPE,
-        stdout=subprocess.PIPE,
-        text=True,
-    )
-    monitor = StreamMonitor(output_type, where=where or " ".join(argv))
-    collected: List[str] = []
-    try:
-        stdin_data = "".join(line + "\n" for line in stdin_lines)
-        proc.stdin.write(stdin_data)
-        proc.stdin.close()
-        for raw in proc.stdout:
-            line = raw.rstrip("\n")
-            monitor.check(line)
-            collected.append(line)
-    except MonitorViolation:
-        proc.kill()
-        raise
-    finally:
-        proc.stdout.close()
-        proc.wait()
-    return collected
+    with get_recorder().span("monitor.subprocess", argv=" ".join(argv)):
+        proc = subprocess.Popen(
+            list(argv),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        monitor = StreamMonitor(output_type, where=where or " ".join(argv))
+        collected: List[str] = []
+        try:
+            stdin_data = "".join(line + "\n" for line in stdin_lines)
+            proc.stdin.write(stdin_data)
+            proc.stdin.close()
+            for raw in proc.stdout:
+                line = raw.rstrip("\n")
+                monitor.check(line)
+                collected.append(line)
+        except MonitorViolation:
+            proc.kill()
+            raise
+        finally:
+            proc.stdout.close()
+            proc.wait()
+        return collected

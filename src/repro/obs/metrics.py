@@ -1,0 +1,66 @@
+"""Metric value types: counters are plain ints; histograms keep summary
+statistics (not raw samples) so unbounded workloads stay O(1) memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.minimum, other.maximum):
+            if bound is None:
+                continue
+            if self.minimum is None or bound < self.minimum:
+                self.minimum = bound
+            if self.maximum is None or bound > self.maximum:
+                self.maximum = bound
+
+    def describe(self) -> str:
+        if not self.count:
+            return "n=0"
+        return (
+            f"n={self.count} mean={self.mean:.2f} "
+            f"min={self.minimum:g} max={self.maximum:g}"
+        )
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time copy of a recorder's counters and histograms."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.setdefault(name, Histogram())
+            mine.merge(histogram)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)

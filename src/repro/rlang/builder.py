@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import get_recorder
 from . import ops
 from .dfa import DFA, determinise, minimise
 from .nfa import build_nfa
@@ -64,8 +65,13 @@ class Regex:
 
     @property
     def min_dfa(self) -> DFA:
+        recorder = get_recorder()
         if self._min is None:
+            if recorder.enabled:
+                recorder.count("rlang.min_cache_misses")
             self._min = minimise(self._dfa)
+        elif recorder.enabled:
+            recorder.count("rlang.min_cache_hits")
         return self._min
 
     # -- queries -----------------------------------------------------------

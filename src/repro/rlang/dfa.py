@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..obs import get_recorder
 from .charclass import CharSet, partition
 from .nfa import NFA
 
@@ -205,6 +206,11 @@ def determinise(nfa: NFA) -> DFA:
         delta.append(row)  # type: ignore[arg-type]
         pos += 1
 
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("rlang.determinise_calls")
+        recorder.observe("rlang.dfa_states", len(delta))
+        recorder.observe("rlang.dfa_atoms", len(atoms))
     return DFA(atoms=atoms, delta=[list(map(int, row)) for row in delta], accepting=accepting)
 
 
@@ -286,4 +292,8 @@ def minimise(dfa: DFA) -> DFA:
         for state in dfa.accepting
         if block_of[state] in renumber
     }
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("rlang.minimise_calls")
+        recorder.observe("rlang.min_dfa_states", len(new_delta))
     return DFA(atoms=list(dfa.atoms), delta=new_delta, accepting=new_accepting)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs import get_recorder
 from .charclass import CharSet, partition
 from .dfa import DFA
 
@@ -56,6 +57,10 @@ def product(a: DFA, b: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
         delta.append(row)
         pos += 1
 
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("rlang.product_calls")
+        recorder.observe("rlang.product_states", len(delta))
     return DFA(atoms=atoms, delta=delta, accepting=accepting)
 
 

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..obs import get_recorder
 from .ir import CommandSpec
 
 
@@ -21,7 +22,11 @@ class SpecRegistry:
         self._specs[spec.name] = spec
 
     def get(self, name: str) -> Optional[CommandSpec]:
-        return self._specs.get(name)
+        spec = self._specs.get(name)
+        get_recorder().count(
+            "specs.lookup_hits" if spec is not None else "specs.lookup_misses"
+        )
+        return spec
 
     def __contains__(self, name: str) -> bool:
         return name in self._specs

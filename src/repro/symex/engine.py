@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..checkers.base import Checker
 from ..diag import Diagnostic, Severity, dedupe
 from ..fs import FsContradiction, NodeKind, parse_sympath
+from ..obs import Recorder, get_recorder
 from ..rlang import Regex
 from ..rtypes import StreamType, check_pipeline
 from ..shell import parse as parse_shell
@@ -70,6 +71,7 @@ class ExecResult:
     diagnostics: List[Diagnostic]
     paths_explored: int = 0
     paths_merged: int = 0
+    truncations: int = 0
 
     def by_code(self, code: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
@@ -91,6 +93,7 @@ class Engine:
         prune: bool = True,
         signature_overrides: Optional[Dict[str, "object"]] = None,
         initial_env: Optional[Dict[str, "object"]] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.registry = registry if registry is not None else default_registry()
         self.checkers = checkers if checkers is not None else []
@@ -109,6 +112,11 @@ class Engine:
         self.script_assigned: set = set()
         self.paths_explored = 0
         self.paths_merged = 0
+        #: how many times `_prune` dropped states past the `max_fork` budget
+        self.truncations = 0
+        #: explicit recorder, or None to pick up the active one per run
+        self.recorder = recorder
+        self._rec: Recorder = recorder if recorder is not None else get_recorder()
         #: per-command success feasibility, aggregated across every path
         #: reaching it: id(node) -> [node, feasible_count, visit_count]
         self._success_tracker: Dict[int, list] = {}
@@ -144,34 +152,53 @@ class Engine:
     def run(
         self, ast: Command, state: Optional[SymState] = None, n_args: int = 0
     ) -> ExecResult:
+        rec = self._rec = self.recorder if self.recorder is not None else get_recorder()
         self.paths_explored = 0
         self.paths_merged = 0
+        self.truncations = 0
         self.script_assigned = _assigned_names(ast)
         self._success_tracker = {}
         if state is None:
             state = self.initial_state(n_args=n_args)
-        finals = self.eval(ast, state)
-        diagnostics: List[Diagnostic] = []
-        for final in finals:
-            diagnostics.extend(final.diagnostics)
-        # a command "always fails" only when its success preconditions
-        # contradicted established facts on EVERY path that reached it
-        sink = _DiagSink()
-        for node, feasible, visits in self._success_tracker.values():
-            if visits and not feasible:
-                reason = (
-                    "its preconditions contradict established file-system facts"
-                )
+        with rec.span("symex.run"):
+            finals = self.eval(ast, state)
+            diagnostics: List[Diagnostic] = []
+            for final in finals:
+                diagnostics.extend(final.diagnostics)
+            with rec.span("symex.checkers"):
+                # a command "always fails" only when its success preconditions
+                # contradicted established facts on EVERY path that reached it
+                sink = _DiagSink()
+                for node, feasible, visits in self._success_tracker.values():
+                    if visits and not feasible:
+                        reason = (
+                            "its preconditions contradict established "
+                            "file-system facts"
+                        )
+                        for checker in self.checkers:
+                            checker.on_always_fails(sink, node, reason)
+                diagnostics.extend(sink.diagnostics)
                 for checker in self.checkers:
-                    checker.on_always_fails(sink, node, reason)
-        diagnostics.extend(sink.diagnostics)
-        for checker in self.checkers:
-            diagnostics.extend(checker.finish(finals))
+                    diagnostics.extend(checker.finish(finals))
+        if self.truncations:
+            diagnostics.append(
+                Diagnostic(
+                    code="analysis-truncated",
+                    message=(
+                        f"analysis truncated: path budget (max_fork="
+                        f"{self.max_fork}) exhausted {self.truncations} "
+                        "time(s); results may be incomplete"
+                    ),
+                    severity=Severity.INFO,
+                )
+            )
+        rec.count("symex.runs")
         return ExecResult(
             states=finals,
             diagnostics=dedupe(diagnostics),
             paths_explored=self.paths_explored,
             paths_merged=self.paths_merged,
+            truncations=self.truncations,
         )
 
     # -- core dispatch ----------------------------------------------------------
@@ -180,6 +207,14 @@ class Engine:
         if state.halted:
             return [state]
         self.paths_explored += 1
+        rec = self._rec
+        rec.count("symex.states_explored")
+        if rec.enabled:
+            with rec.span("eval." + type(node).__name__):
+                return self._eval_node(node, state)
+        return self._eval_node(node, state)
+
+    def _eval_node(self, node: Command, state: SymState) -> List[SymState]:
         if isinstance(node, SimpleCommand):
             return self._prune(self.eval_simple(node, state))
         if isinstance(node, Pipeline):
@@ -213,6 +248,10 @@ class Engine:
         for state in states:
             results.extend(self.eval(node, state))
         return self._prune(results)
+
+    def _fork(self, state: SymState, note: str) -> SymState:
+        self._rec.count("symex.states_forked")
+        return state.fork(note=note)
 
     # -- simple commands -----------------------------------------------------------
 
@@ -342,8 +381,8 @@ class Engine:
         failure_branches: List[SymState] = []
 
         for clause in clauses:
-            branch = state.fork(
-                note=f"{spec.name}: {clause.note or f'exit {clause.exit_code}'}"
+            branch = self._fork(
+                state, f"{spec.name}: {clause.note or f'exit {clause.exit_code}'}"
             )
             feasible, reason = self._apply_clause(
                 spec, clause, operand_values, branch, node
@@ -638,6 +677,7 @@ class Engine:
                         " ".join(argv)
                     ) or self.signature_overrides.get(argv[0])
                     overrides.append(sig)
+            self._rec.count("rtypes.pipeline_checks")
             types = check_pipeline(argvs, signatures=overrides)
             for checker in self.checkers:
                 checker.on_pipeline(state, node, types.issues)
@@ -676,9 +716,9 @@ class Engine:
             success = left.succeeded()
             run_right = (success is True) if node.op == "&&" else (success is False)
             if success is None:
-                ok = left.fork(note=f"{node.op}: left succeeded")
+                ok = self._fork(left, f"{node.op}: left succeeded")
                 ok.status = 0
-                fail = left.fork(note=f"{node.op}: left failed")
+                fail = self._fork(left, f"{node.op}: left failed")
                 fail.status = 1
                 branches = [ok, fail]
             else:
@@ -741,7 +781,7 @@ class Engine:
         return results
 
     def eval_subshell(self, node: Subshell, state: SymState) -> List[SymState]:
-        child = state.fork(note="subshell")
+        child = self._fork(state, "subshell")
         results = []
         for sub in self.eval(node.body, child):
             sub.env = dict(state.env)
@@ -770,9 +810,9 @@ class Engine:
             elif outcome is False:
                 failure.append(st)
             else:
-                ok = st.fork(note=f"{note}: success")
+                ok = self._fork(st, f"{note}: success")
                 ok.status = 0
-                bad = st.fork(note=f"{note}: failure")
+                bad = self._fork(st, f"{note}: failure")
                 bad.status = 1
                 success.append(ok)
                 failure.append(bad)
@@ -884,7 +924,7 @@ class Engine:
                     pattern_lang = lang if pattern_lang is None else pattern_lang | lang
                 if not static:
                     # dynamic pattern: may or may not match; explore the body
-                    taken = subj_state.fork(note="case: dynamic pattern taken")
+                    taken = self._fork(subj_state, "case: dynamic pattern taken")
                     if item.body is not None:
                         results.extend(self.eval(item.body, taken))
                     else:
@@ -900,8 +940,9 @@ class Engine:
                     checker.on_case_arm(subj_state, node, item, original_feasible, True)
                 if not feasible:
                     continue
-                taken = subj_state.fork(
-                    note=f"case: matched {'|'.join(w.raw for w in item.patterns)}"
+                taken = self._fork(
+                    subj_state,
+                    f"case: matched {'|'.join(w.raw for w in item.patterns)}",
                 )
                 if vid is not None:
                     # the subject matched this arm AND fell through all
@@ -915,7 +956,7 @@ class Engine:
                 if remaining.is_empty():
                     break
             if not remaining.is_empty():
-                fallthrough = subj_state.fork(note="case: no pattern matched")
+                fallthrough = self._fork(subj_state, "case: no pattern matched")
                 if vid is not None:
                     fallthrough.store.refine(vid, remaining)
                 fallthrough.status = 0
@@ -942,6 +983,7 @@ class Engine:
                 )
                 if key in merged:
                     self.paths_merged += 1
+                    self._rec.count("symex.states_merged")
                     # keep the first; append its diagnostics so none are lost
                     merged[key].diagnostics.extend(
                         d for d in st.diagnostics
@@ -952,6 +994,13 @@ class Engine:
                     order.append(st)
             states = order
         if len(states) > self.max_fork:
+            dropped = len(states) - self.max_fork
+            self.truncations += 1
+            rec = self._rec
+            rec.count("symex.truncations")
+            rec.count("symex.states_truncated", dropped)
+            if rec.enabled:
+                rec.observe("symex.truncation_drop", dropped)
             states = states[: self.max_fork]
         return states
 

@@ -19,6 +19,40 @@ class TestSeverity:
         assert Severity.INFO < Severity.WARNING < Severity.ERROR
         assert not (Severity.ERROR < Severity.INFO)
 
+    def test_total_ordering(self):
+        """Regression: >=, >, <= must all work (functools.total_ordering),
+        not only the hand-written __lt__."""
+        assert Severity.ERROR >= Severity.WARNING
+        assert Severity.ERROR > Severity.INFO
+        assert Severity.INFO <= Severity.INFO
+        assert Severity.WARNING >= Severity.WARNING
+        assert not (Severity.INFO >= Severity.ERROR)
+
+    def test_sorted_and_extrema(self):
+        unsorted = [Severity.ERROR, Severity.INFO, Severity.WARNING]
+        assert sorted(unsorted) == [
+            Severity.INFO,
+            Severity.WARNING,
+            Severity.ERROR,
+        ]
+        assert max(unsorted) is Severity.ERROR
+        assert min(unsorted) is Severity.INFO
+
+    def test_sort_diagnostics_by_severity(self):
+        diags = [
+            diag(code="a", severity=Severity.INFO),
+            diag(code="b", severity=Severity.ERROR),
+            diag(code="c", severity=Severity.WARNING),
+        ]
+        ranked = sorted(diags, key=lambda d: d.severity, reverse=True)
+        assert [d.code for d in ranked] == ["b", "c", "a"]
+
+    def test_comparison_with_other_types_raises(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            Severity.INFO < "warning"
+
 
 class TestDiagnostic:
     def test_render_contains_parts(self):
