@@ -1,0 +1,59 @@
+"""Event-log fork scaling: forking must not copy the trace.
+
+The engine forks the symbolic state (and with it the fs event log) at
+every branch point, so a naive list-copying log makes heavy scripts
+O(events x forks).  The segment-chain log forks in O(1): this benchmark
+guards the property by timing per-fork cost at two log sizes two orders
+of magnitude apart — with copying the ratio tracks the size gap (~1000x),
+with sharing it stays flat.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.fs import EventLog, FsOp
+
+SMALL = 100
+LARGE = 100_000
+FORKS = 400
+
+
+def _filled_log(size: int) -> EventLog:
+    log = EventLog()
+    for idx in range(size):
+        log.record(FsOp.WRITE, f"/tmp/f{idx}", idx)
+    return log
+
+
+def _per_fork_seconds(log: EventLog, forks: int) -> float:
+    start = time.perf_counter()
+    for _ in range(forks):
+        log.fork()
+    return (time.perf_counter() - start) / forks
+
+
+def test_fork_is_size_independent():
+    small = _per_fork_seconds(_filled_log(SMALL), FORKS)
+    large = _per_fork_seconds(_filled_log(LARGE), FORKS)
+    ratio = large / small if small else 1.0
+    emit(
+        "E-log (event-log fork scaling)",
+        [
+            f"{SMALL:>7} events: {small * 1e6:8.2f} us/fork",
+            f"{LARGE:>7} events: {large * 1e6:8.2f} us/fork",
+            f"ratio: {ratio:.1f}x (copying would be ~{LARGE // SMALL}x)",
+        ],
+    )
+    # generous bound: O(1) fork keeps the ratio near 1 even on noisy
+    # machines; a per-event copy would push it to ~1000
+    assert ratio < 50, f"fork cost scales with log size ({ratio:.1f}x)"
+
+
+def test_fork_preserves_content():
+    log = _filled_log(SMALL)
+    child = log.fork()
+    child.record(FsOp.READ, "/tmp/extra", None)
+    assert len(log) == SMALL
+    assert len(child) == SMALL + 1
+    assert [e.path for e in child][-1] == "/tmp/extra"

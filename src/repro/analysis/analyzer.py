@@ -29,6 +29,7 @@ def analyze(
     max_fork: int = 64,
     max_loop: int = 2,
     prune: bool = True,
+    races: bool = True,
 ) -> Report:
     """Statically analyze a shell script.
 
@@ -38,6 +39,8 @@ def analyze(
       (overridden by ``# @platforms ...``).
     - ``include_lint``: additionally run the syntactic baseline and merge
       its findings (tagged ``source="lint"``).
+    - ``races``: run the effect-graph hazard analysis (file-system races
+      over ``&``/``wait``); ignored when ``checkers`` is given explicitly.
     """
     recorder = get_recorder()
 
@@ -70,7 +73,7 @@ def analyze(
             )
 
     if checkers is None:
-        checkers = default_checkers(platform_targets=platform_targets)
+        checkers = default_checkers(platform_targets=platform_targets, races=races)
 
     engine = Engine(
         registry=registry,

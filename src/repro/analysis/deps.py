@@ -161,7 +161,7 @@ def analyze_dependencies(source: str, n_args: int = 0) -> DependencyGraph:
         next_states = []
         for state, mark in marks:
             for result in engine.eval(command, state):
-                for event in result.fs.log.events[mark:]:
+                for event in result.fs.log.since(mark):
                     if event.node is None:
                         continue
                     if event.op in _WRITES:

@@ -1,0 +1,33 @@
+"""Effect-graph hazard analysis (file-system races over ``&``/``wait``).
+
+The engine's event trace attributes every file-system access to the
+command that caused it and to the task (foreground or background region)
+that ran it; this package rebuilds the per-path effect graph from those
+traces and reports interleaving hazards — write/write and read/write
+races, reads missing a ``wait``, and check-then-use (TOCTOU) windows.
+"""
+
+from .checker import RaceChecker
+from .graph import (
+    Access,
+    EffectGraph,
+    EffectNode,
+    Edge,
+    Window,
+    build_effect_graph,
+    display_path,
+)
+from .hazards import Hazard, find_hazards
+
+__all__ = [
+    "Access",
+    "EffectGraph",
+    "EffectNode",
+    "Edge",
+    "Window",
+    "Hazard",
+    "RaceChecker",
+    "build_effect_graph",
+    "display_path",
+    "find_hazards",
+]

@@ -35,6 +35,10 @@ class Report:
     def by_code(self, code: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
 
+    def races(self) -> List[Diagnostic]:
+        """RACE-family hazards from the effect-graph analysis."""
+        return [d for d in self.diagnostics if d.code.startswith("race-")]
+
     def has(self, code: str) -> bool:
         return any(d.code == code for d in self.diagnostics)
 
@@ -63,6 +67,9 @@ class Report:
             f"{self.paths_explored} path step(s) explored, "
             f"{self.states} final state(s)"
         )
+        hazards = self.races()
+        if hazards:
+            summary += f" [{len(hazards)} interleaving hazard(s)]"
         if self.truncations:
             summary += f" [truncated {self.truncations}x]"
         lines.append(summary)

@@ -7,7 +7,7 @@ from .platform import PlatformChecker
 from .streams import AlwaysFailsChecker, DeadCaseChecker, StreamTypeChecker
 
 
-def default_checkers(platform_targets=None):
+def default_checkers(platform_targets=None, races=True):
     """The standard catalog used by the analyzer."""
     checkers = [
         DangerousDeletionChecker(),
@@ -16,6 +16,12 @@ def default_checkers(platform_targets=None):
         AlwaysFailsChecker(),
         IdempotenceChecker(),
     ]
+    if races:
+        # imported lazily: the race checker lives in the analysis layer,
+        # which itself imports this package
+        from ..analysis.effects import RaceChecker
+
+        checkers.append(RaceChecker())
     if platform_targets:
         checkers.append(PlatformChecker(platform_targets))
     return checkers

@@ -93,6 +93,19 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--lint", action="store_true", help="also run the syntactic baseline")
     parser.add_argument(
+        "--races",
+        action="store_true",
+        dest="races",
+        default=True,
+        help="run the effect-graph hazard analysis (default)",
+    )
+    parser.add_argument(
+        "--no-races",
+        action="store_false",
+        dest="races",
+        help="skip the effect-graph hazard analysis",
+    )
+    parser.add_argument(
         "--errors-only", action="store_true", help="show only definite errors"
     )
     _add_common_flags(parser)
@@ -107,6 +120,7 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
             n_args=options.args,
             platform_targets=options.platforms,
             include_lint=options.lint,
+            races=options.races,
         )
     min_severity = Severity.ERROR if options.errors_only else Severity.INFO
     print(report.render(min_severity=min_severity))

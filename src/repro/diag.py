@@ -38,11 +38,15 @@ class Diagnostic:
     #: evidence: e.g. a concrete variable assignment triggering the bug
     witness: str = ""
     source: str = "semantic"  # "semantic" | "lint" | "types" | "platform"
+    #: other program points involved (e.g. both commands of a race)
+    related: Tuple[str, ...] = ()
 
     def render(self) -> str:
         location = f"{self.pos}: " if self.pos else ""
         modality = "always" if self.always else "may"
         tail = f" [witness: {self.witness}]" if self.witness else ""
+        if self.related:
+            tail += "".join(f"\n    with: {entry}" for entry in self.related)
         return (
             f"{location}{self.severity.value}[{self.code}] ({modality}) "
             f"{self.message}{tail}"

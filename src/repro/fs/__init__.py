@@ -1,6 +1,6 @@
 """Symbolic file-system model with node identity (paper §4)."""
 
-from .events import EventLog, FsEvent, FsOp
+from .events import EventLog, FsEvent, FsOp, Origin
 from .model import (
     Existence,
     FileSystem,
@@ -19,6 +19,7 @@ __all__ = [
     "EventLog",
     "FsEvent",
     "FsOp",
+    "Origin",
     "SymPath",
     "SymSegment",
     "parse_sympath",

@@ -1,16 +1,27 @@
-"""File-system event traces.
+"""File-system event traces with command provenance.
 
 Every mutation and observation of the symbolic file system is recorded
-as an event.  Traces serve two masters: the miner's instrumented probing
-(§3, Fig. 4 "instrument and execute all command invocations") and the
-read/write dependency analysis enabling optimisation (§5).
+as an event.  Traces serve three masters: the miner's instrumented
+probing (§3, Fig. 4 "instrument and execute all command invocations"),
+the read/write dependency analysis enabling optimisation (§5), and the
+effect-graph hazard analysis over ``&``/``wait`` concurrency.
+
+Each event carries an :class:`Origin` — which command caused it — and a
+``task`` id: 0 for the foreground script, or the region id of the
+background job (``cmd &``) that produced it.  Region lifetimes are
+delimited in the trace itself by ``BG_OPEN``/``BG_CLOSE`` marker events,
+so a consumer can reconstruct which accesses were interleavable.
+
+Logs fork in O(1): the shared prefix is kept as a chain of immutable,
+sealed segments; only a small open tail is owned by any one log.  A
+naive per-fork copy made heavy scripts O(events x forks).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 
 class FsOp(Enum):
@@ -21,6 +32,33 @@ class FsOp(Enum):
     DELETE = auto()      # node removed
     CHDIR = auto()       # working directory changed
     LIST = auto()        # directory listed
+    BG_OPEN = auto()     # a background region opened (cmd &)
+    BG_CLOSE = auto()    # a background region closed (wait / join)
+
+    @property
+    def is_marker(self) -> bool:
+        return self in (FsOp.BG_OPEN, FsOp.BG_CLOSE)
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Provenance of an event: the command that caused it.
+
+    ``label`` is a short source rendering (``grep x f``); ``pos`` is the
+    command's :class:`~repro.shell.tokens.Position` (kept opaque here so
+    the fs layer stays independent of the shell front end).
+    """
+
+    label: str = ""
+    pos: Optional[object] = None
+
+    def where(self) -> str:
+        return f"{self.pos}" if self.pos is not None else "?"
+
+    def describe(self) -> str:
+        if self.pos is not None:
+            return f"`{self.label}` ({self.pos})"
+        return f"`{self.label}`"
 
 
 @dataclass(frozen=True)
@@ -29,34 +67,133 @@ class FsEvent:
     path: str
     node: Optional[int] = None
     detail: str = ""
+    #: the command this event belongs to (None for untagged/legacy events)
+    origin: Optional[Origin] = None
+    #: 0 = foreground; otherwise the background region id that ran it
+    task: int = 0
+    #: for BG_OPEN/BG_CLOSE markers: the region being opened/closed
+    region: Optional[int] = None
 
     def __str__(self) -> str:
         extra = f" ({self.detail})" if self.detail else ""
         return f"{self.op.name.lower()} {self.path}{extra}"
 
 
-class EventLog:
-    """An append-only trace; forked states share the prefix by copy."""
+class _Segment:
+    """An immutable, sealed run of events plus a link to earlier runs."""
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "parent", "cum_len")
+
+    def __init__(self, events: List[FsEvent], parent: Optional["_Segment"]):
+        self.events = events
+        self.parent = parent
+        self.cum_len = len(events) + (parent.cum_len if parent is not None else 0)
+
+
+_READ_OPS = (FsOp.READ, FsOp.STAT, FsOp.LIST)
+_WRITE_OPS = (FsOp.WRITE, FsOp.CREATE, FsOp.DELETE)
+
+
+class EventLog:
+    """An append-only trace; forked logs share their prefix structurally.
+
+    ``fork()`` seals the current tail into an immutable segment and hands
+    the child a reference to the segment chain — O(1) regardless of how
+    many events were recorded, where the previous implementation copied
+    the whole list per fork (O(n·forks) across a run).
+    """
+
+    __slots__ = ("_head", "_tail", "origin", "task")
 
     def __init__(self, events: Optional[List[FsEvent]] = None):
-        self.events = list(events or [])
+        self._head: Optional[_Segment] = None
+        self._tail: List[FsEvent] = list(events) if events else []
+        #: sticky provenance: stamped onto every recorded event
+        self.origin: Optional[Origin] = None
+        #: the task (0 = foreground, else region id) recording right now
+        self.task: int = 0
 
-    def record(self, op: FsOp, path: str, node: Optional[int] = None, detail: str = "") -> None:
-        self.events.append(FsEvent(op, path, node, detail))
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self, op: FsOp, path: str, node: Optional[int] = None, detail: str = ""
+    ) -> None:
+        self._tail.append(
+            FsEvent(op, path, node, detail, origin=self.origin, task=self.task)
+        )
+
+    def set_origin(self, origin: Optional[Origin]) -> None:
+        self.origin = origin
+
+    def open_region(self, region: int, label: str = "", origin: Optional[Origin] = None) -> None:
+        """Mark the start of a background region (``cmd &``)."""
+        self._tail.append(
+            FsEvent(
+                FsOp.BG_OPEN, "", None, label,
+                origin=origin or self.origin, task=self.task, region=region,
+            )
+        )
+
+    def close_region(self, region: int, label: str = "") -> None:
+        """Mark a region as joined (``wait`` reached, ordering restored)."""
+        self._tail.append(
+            FsEvent(
+                FsOp.BG_CLOSE, "", None, label,
+                origin=self.origin, task=self.task, region=region,
+            )
+        )
+
+    # -- forking ------------------------------------------------------------
+
+    def _seal(self) -> None:
+        if self._tail:
+            self._head = _Segment(self._tail, self._head)
+            self._tail = []
 
     def fork(self) -> "EventLog":
-        return EventLog(self.events)
+        self._seal()
+        child = EventLog.__new__(EventLog)
+        child._head = self._head
+        child._tail = []
+        child.origin = self.origin
+        child.task = self.task
+        return child
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def events(self) -> List[FsEvent]:
+        """The full trace, materialised (prefer iteration or `since`)."""
+        return list(self)
+
+    def since(self, mark: int) -> List[FsEvent]:
+        """Events recorded after position ``mark`` (= an earlier len())."""
+        if mark <= 0:
+            return list(self)
+        collected: List[FsEvent] = list(self._tail)
+        segment = self._head
+        base = segment.cum_len if segment is not None else 0
+        while segment is not None and segment.cum_len > mark:
+            collected = segment.events + collected
+            base = segment.cum_len - len(segment.events)
+            segment = segment.parent
+        return collected[mark - base:]
 
     def reads(self) -> List[FsEvent]:
-        return [e for e in self.events if e.op in (FsOp.READ, FsOp.STAT, FsOp.LIST)]
+        return [e for e in self if e.op in _READ_OPS]
 
     def writes(self) -> List[FsEvent]:
-        return [e for e in self.events if e.op in (FsOp.WRITE, FsOp.CREATE, FsOp.DELETE)]
+        return [e for e in self if e.op in _WRITE_OPS]
 
     def __len__(self) -> int:
-        return len(self.events)
+        return (self._head.cum_len if self._head is not None else 0) + len(self._tail)
 
-    def __iter__(self):
-        return iter(self.events)
+    def __iter__(self) -> Iterator[FsEvent]:
+        segments: List[List[FsEvent]] = []
+        segment = self._head
+        while segment is not None:
+            segments.append(segment.events)
+            segment = segment.parent
+        for events in reversed(segments):
+            yield from events
+        yield from self._tail

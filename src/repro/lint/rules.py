@@ -38,7 +38,7 @@ from ..shell.ast import (
 _SHELL_VARS = {
     "HOME", "PWD", "OLDPWD", "PATH", "IFS", "PS1", "PS2", "LANG", "TERM",
     "USER", "SHELL", "HOSTNAME", "RANDOM", "LINENO", "OPTARG", "OPTIND",
-    "REPLY", "TMPDIR", "EDITOR", "PAGER",
+    "REPLY", "TMPDIR", "EDITOR", "PAGER", "PPID", "UID", "OPTERR",
 }
 
 

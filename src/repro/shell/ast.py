@@ -320,6 +320,23 @@ def _walk_word(word: Word):
             yield from _walk_word(part.arg)
 
 
+def first_pos(node: Union[Command, None]) -> Optional[Position]:
+    """The position of the first positioned command in a subtree.
+
+    Compound nodes built by the parser sometimes carry a default
+    position while their leaves are located; provenance (effect-graph
+    origins, hazard diagnostics) wants the earliest real location.
+    """
+    best: Optional[Position] = None
+    for sub in walk(node):
+        pos = getattr(sub, "pos", None)
+        if pos is None:
+            continue
+        if best is None or (pos.line, pos.col) < (best.line, best.col):
+            best = pos
+    return best
+
+
 def structure(node):
     """A position-free structural digest of an AST (or word/part), for
     equality in round-trip tests."""

@@ -33,6 +33,27 @@ def render(node: Command) -> str:
     return _render(node)
 
 
+def command_label(node: Command, limit: int = 48) -> str:
+    """A short one-line source rendering of a command, for provenance
+    labels in event traces and hazard diagnostics."""
+    try:
+        text = " ".join(_render(node).split())
+    except TypeError:
+        text = type(node).__name__
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+def _close(rendered: str, closer: str) -> str:
+    """Join a rendered command with what follows it, e.g. ``; fi`` or the
+    next command of a sequence.  A trailing ``&`` already terminates the
+    command, so no ``;`` may follow it (``a &; b`` is a syntax error)."""
+    if rendered.rstrip().endswith("&"):
+        return f"{rendered} {closer}"
+    return f"{rendered}; {closer}"
+
+
 def _render(node: Command) -> str:
     if isinstance(node, SimpleCommand):
         return _render_simple(node)
@@ -42,25 +63,33 @@ def _render(node: Command) -> str:
     if isinstance(node, AndOr):
         return f"{_render(node.left)} {node.op} {_render(node.right)}"
     if isinstance(node, Sequence):
-        return "; ".join(_render(c) for c in node.commands)
+        out = ""
+        for command in node.commands:
+            piece = _render(command)
+            out = piece if not out else _close(out, piece)
+        return out
     if isinstance(node, Background):
         return f"{_render(node.command)} &"
     if isinstance(node, Subshell):
         return f"({_render(node.body)})" + _render_redirects(node.redirects)
     if isinstance(node, BraceGroup):
-        return "{ " + _render(node.body) + "; }" + _render_redirects(node.redirects)
+        return "{ " + _close(_render(node.body), "}") + _render_redirects(
+            node.redirects
+        )
     if isinstance(node, If):
-        parts = [f"if {_render(node.cond)}; then {_render(node.then)}"]
+        text = f"if {_render(node.cond)}; then {_render(node.then)}"
         for clause in node.elifs:
-            parts.append(f"; elif {_render(clause.cond)}; then {_render(clause.then)}")
+            text = _close(
+                text, f"elif {_render(clause.cond)}; then {_render(clause.then)}"
+            )
         if node.else_ is not None:
-            parts.append(f"; else {_render(node.else_)}")
-        parts.append("; fi")
-        return "".join(parts) + _render_redirects(node.redirects)
+            text = _close(text, f"else {_render(node.else_)}")
+        return _close(text, "fi") + _render_redirects(node.redirects)
     if isinstance(node, While):
         keyword = "until" if node.until else "while"
         return (
-            f"{keyword} {_render(node.cond)}; do {_render(node.body)}; done"
+            f"{keyword} {_render(node.cond)}; do "
+            + _close(_render(node.body), "done")
             + _render_redirects(node.redirects)
         )
     if isinstance(node, For):
@@ -69,8 +98,9 @@ def _render(node: Command) -> str:
         else:
             items = " ".join(w.raw for w in node.words)
             head = f"for {node.var} in {items}" if items else f"for {node.var} in"
-        return f"{head}; do {_render(node.body)}; done" + _render_redirects(
-            node.redirects
+        return (
+            f"{head}; do " + _close(_render(node.body), "done")
+            + _render_redirects(node.redirects)
         )
     if isinstance(node, Case):
         arms = []

@@ -53,10 +53,16 @@ def grep_spec() -> CommandSpec:
                       "exclude": True, "perl-regexp": False},
         min_operands=0,
         clauses=[
-            Clause(pre=(), effects=(), exit_code=0, note="a line matched"),
+            Clause(
+                pre=(Exists(Sel.EACH, PathKind.FILE),),
+                effects=(ReadsFile(Sel.EACH),),
+                exit_code=0,
+                note="a line matched",
+            ),
             Clause(pre=(), effects=(), exit_code=1, note="no line matched"),
         ],
-        operands_are_paths=False,  # first operand is the pattern
+        # the pattern operand is not a path; any following operands are
+        path_operands_from=1,
         platform_flags={
             "-P": frozenset({"linux"}),
             "--perl-regexp": frozenset({"linux"}),

@@ -213,6 +213,10 @@ class CommandSpec:
     platform_flags: Dict[str, FrozenSet[str]] = field(default_factory=dict)
     #: operands are paths (drives fs reasoning)
     operands_are_paths: bool = True
+    #: index of the first path operand, for commands whose leading
+    #: operand(s) are not paths (``grep pattern file...`` → 1); only
+    #: meaningful when ``operands_are_paths`` is True
+    path_operands_from: int = 0
     #: free-form documentation line (mirrors the man page's NAME section)
     summary: str = ""
 

@@ -578,6 +578,38 @@ def builtin_set(argv: List[SymString], state: SymState, engine: "Engine") -> Lis
     return [state.with_status(0)]
 
 
+def builtin_wait(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
+    """``wait`` joins background jobs: it closes their event-log regions
+    (their effects can no longer interleave with anything later) and
+    removes them from the live-job list.
+
+    - no arguments: waits for *all* jobs; exit status 0
+    - ``%N`` arguments: waits for those job numbers; status unknown
+      (it is the job's exit status)
+    - pid arguments: we cannot map pids to jobs, so conservatively
+      waits for all jobs; status unknown
+    """
+    args = [a.concrete_value() for a in argv[1:]]
+    to_close = list(state.bg_jobs)
+    status: Optional[int] = 0
+    if args and all(a is not None and a.startswith("%") for a in args):
+        numbers = set()
+        for a in args:
+            tail = a[1:]
+            if tail.isdigit():
+                numbers.add(int(tail))
+        to_close = [j for j in state.bg_jobs if j.number in numbers]
+        status = None
+    elif args:
+        status = None
+    closed = {job.region for job in to_close}
+    log = state.fs.log
+    for job in to_close:
+        log.close_region(job.region, label=job.label)
+    state.bg_jobs = tuple(j for j in state.bg_jobs if j.region not in closed)
+    return [state.with_status(status)]
+
+
 _BUILTINS: Dict[str, Callable] = {
     "cd": builtin_cd,
     "test": builtin_test,
@@ -598,4 +630,5 @@ _BUILTINS: Dict[str, Callable] = {
     "return": builtin_return,
     "set": builtin_set,
     "realpath": builtin_realpath,
+    "wait": builtin_wait,
 }

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..checkers.base import Checker
 from ..diag import Diagnostic, Severity, dedupe
-from ..fs import FsContradiction, NodeKind, parse_sympath
+from ..fs import FsContradiction, NodeKind, Origin, parse_sympath
 from ..obs import Recorder, get_recorder
 from ..rlang import Regex
 from ..rtypes import StreamType, check_pipeline
@@ -35,7 +35,9 @@ from ..shell.ast import (
     While,
     Word,
 )
+from ..shell.ast import first_pos
 from ..shell.glob import word_pattern_to_regex
+from ..shell.printer import command_label
 from ..specs import (
     Absent,
     Clause,
@@ -57,7 +59,7 @@ from ..specs import (
 from ..symstr import SymString
 from . import builtins as builtins_mod
 from .expansion import expand_word, expand_words
-from .state import SymState
+from .state import BgJob, SymState
 
 #: Script paths ($0): §3's example constraint.
 SCRIPT_PATH_RE = r"/?([^/\n]*/)*[^/\n]+"
@@ -123,6 +125,10 @@ class Engine:
         #: >0 while evaluating a condition context (if/while/&&/||/!),
         #: where `set -e` does not fire
         self._cond_depth = 0
+        #: background region ids handed out this run (0 = foreground)
+        self._region_counter = 0
+        #: provenance labels, cached per AST node (id(node) -> Origin)
+        self._origin_cache: Dict[int, Origin] = {}
 
     # -- entry points -------------------------------------------------------
 
@@ -158,6 +164,8 @@ class Engine:
         self.truncations = 0
         self.script_assigned = _assigned_names(ast)
         self._success_tracker = {}
+        self._region_counter = 0
+        self._origin_cache = {}
         if state is None:
             state = self.initial_state(n_args=n_args)
         with rec.span("symex.run"):
@@ -229,7 +237,7 @@ class Engine:
             return self.eval_subshell(node, state)
         if isinstance(node, BraceGroup):
             states = self.eval(node.body, state)
-            return self._apply_redirect_list(node.redirects, states)
+            return self._apply_redirect_list(node.redirects, states, owner=node)
         if isinstance(node, If):
             return self._prune(self.eval_if(node, state))
         if isinstance(node, While):
@@ -252,6 +260,17 @@ class Engine:
     def _fork(self, state: SymState, note: str) -> SymState:
         self._rec.count("symex.states_forked")
         return state.fork(note=note)
+
+    # -- provenance ---------------------------------------------------------
+
+    def _origin_for(self, node: Command) -> Origin:
+        """The (cached) provenance record for a command node."""
+        origin = self._origin_cache.get(id(node))
+        if origin is None:
+            pos = first_pos(node) or getattr(node, "pos", None)
+            origin = Origin(label=command_label(node), pos=pos)
+            self._origin_cache[id(node)] = origin
+        return origin
 
     # -- simple commands -----------------------------------------------------------
 
@@ -278,9 +297,11 @@ class Engine:
                 for part in assignment.value.parts
             )
             results = []
+            origin = self._origin_for(node)
             for st in assign_states:
                 if not has_cmdsub:
                     st.status = 0
+                st.fs.log.set_origin(origin)
                 results.extend(self._apply_redirects(node.redirects, st))
             return results
 
@@ -295,10 +316,13 @@ class Engine:
         self, node: SimpleCommand, argv: List[SymString], state: SymState
     ) -> List[SymState]:
         name = argv[0].concrete_value()
+        # all fs events from this command (spec effects, builtin probes,
+        # redirects) are attributed to it on the trace
+        state.fs.log.set_origin(self._origin_for(node))
 
         # redirects apply regardless of how the command is resolved
         def with_redirects(states: List[SymState]) -> List[SymState]:
-            return self._apply_redirect_list(node.redirects, states)
+            return self._apply_redirect_list(node.redirects, states, owner=node)
 
         if name is None:
             state.warn(
@@ -477,6 +501,8 @@ class Engine:
     ) -> Tuple[bool, str]:
         if not spec.operands_are_paths:
             return True, ""
+        if spec.path_operands_from:
+            operands = operands[spec.path_operands_from:]
         try:
             for pre in clause.pre:
                 self._assume_pre(pre, operands, state)
@@ -587,12 +613,18 @@ class Engine:
     # -- redirects --------------------------------------------------------------------
 
     def _apply_redirect_list(
-        self, redirects: List[Redirect], states: List[SymState]
+        self,
+        redirects: List[Redirect],
+        states: List[SymState],
+        owner: Optional[Command] = None,
     ) -> List[SymState]:
         if not redirects:
             return states
         results = []
+        origin = self._origin_for(owner) if owner is not None else None
         for state in states:
+            if origin is not None:
+                state.fs.log.set_origin(origin)
             results.extend(self._apply_redirects(redirects, state))
         return results
 
@@ -772,12 +804,50 @@ class Engine:
         return states
 
     def eval_background(self, node: Background, state: SymState) -> List[SymState]:
-        # the child's effects may happen; explore them, then continue with
-        # status 0 (launching succeeds immediately)
+        # the child runs in a subshell: its effects may happen (and are
+        # recorded, tagged with a fresh region so the hazard analysis
+        # knows where they may interleave), but none of its shell state —
+        # variables, cwd, `exit` — reaches the parent, which continues
+        # immediately with status 0
+        self._rec.count("effects.background_jobs")
+        self._region_counter += 1
+        region = self._region_counter
+        origin = self._origin_for(node.command)
+        saved = (
+            dict(state.env),
+            list(state.params),
+            dict(state.functions),
+            state.cwd_node,
+            state.cwd_str,
+            state.halted,
+            set(state.options),
+            state.bg_jobs,
+            state.bg_launched,
+        )
+        job = BgJob(
+            number=state.bg_launched + 1,
+            region=region,
+            label=origin.label,
+            pos=origin.pos,
+        )
+        log = state.fs.log
+        log.open_region(region, label=origin.label, origin=origin)
+        prev_task = log.task
+        log.task = region
         results = self.eval(node.command, state)
         for result in results:
+            result.fs.log.task = prev_task
+            env, params, functions, cwd_node, cwd_str, halted, options, jobs, launched = saved
+            result.env = dict(env)
+            result.params = list(params)
+            result.functions = dict(functions)
+            result.cwd_node = cwd_node
+            result.cwd_str = cwd_str
+            result.halted = halted
+            result.options = set(options)
+            result.bg_jobs = jobs + (job,)
+            result.bg_launched = launched + 1
             result.status = 0
-            result.halted = False
         return results
 
     def eval_subshell(self, node: Subshell, state: SymState) -> List[SymState]:
@@ -790,8 +860,10 @@ class Engine:
             sub.cwd_node = state.cwd_node
             sub.cwd_str = state.cwd_str
             sub.halted = state.halted
+            sub.bg_jobs = state.bg_jobs
+            sub.bg_launched = state.bg_launched
             results.append(sub)
-        return self._apply_redirect_list(node.redirects, results)
+        return self._apply_redirect_list(node.redirects, results, owner=node)
 
     # -- control flow ---------------------------------------------------------------------
 
@@ -850,7 +922,7 @@ class Engine:
             for st in pending:
                 st.status = 0
                 results.append(st)
-        return self._apply_redirect_list(node.redirects, results)
+        return self._apply_redirect_list(node.redirects, results, owner=node)
 
     def eval_while(self, node: While, state: SymState) -> List[SymState]:
         exits: List[SymState] = []
@@ -880,7 +952,7 @@ class Engine:
         for st in exits:
             if st.status is None:
                 st.status = 0
-        return self._apply_redirect_list(node.redirects, exits)
+        return self._apply_redirect_list(node.redirects, exits, owner=node)
 
     def eval_for(self, node: For, state: SymState) -> List[SymState]:
         if node.words is None:
@@ -905,7 +977,7 @@ class Engine:
                     next_states.extend(self.eval(node.body, s))
                 states = self._prune(next_states)
             results.extend(states)
-        return self._apply_redirect_list(node.redirects, results)
+        return self._apply_redirect_list(node.redirects, results, owner=node)
 
     def eval_case(self, node: Case, state: SymState) -> List[SymState]:
         results: List[SymState] = []
@@ -961,7 +1033,7 @@ class Engine:
                     fallthrough.store.refine(vid, remaining)
                 fallthrough.status = 0
                 results.append(fallthrough)
-        return self._apply_redirect_list(node.redirects, results)
+        return self._apply_redirect_list(node.redirects, results, owner=node)
 
     # -- state management -----------------------------------------------------------------
 
@@ -980,6 +1052,7 @@ class Engine:
                     st.cwd_str,
                     len(st.stdout) if st.capturing else 0,
                     st.store.identity_key(),
+                    st.bg_jobs,
                 )
                 if key in merged:
                     self.paths_merged += 1

@@ -27,6 +27,23 @@ Status = Optional[int]
 STATUS_UNKNOWN: Status = None
 
 
+@dataclass(frozen=True)
+class BgJob:
+    """A live (unwaited) background job on one symbolic path.
+
+    ``number`` is the shell job number (1-based, in launch order, the
+    ``%1`` of ``wait %1``); ``region`` is the event-log region id whose
+    open/close markers delimit where the job's effects may interleave.
+    """
+
+    number: int
+    region: int
+    label: str = ""
+    #: source position (excluded from identity: Position is mutable, and
+    #: two states differing only in a job's position should still merge)
+    pos: Optional[object] = field(default=None, compare=False)
+
+
 @dataclass
 class StdoutChunk:
     """A piece of captured standard output.
@@ -64,6 +81,8 @@ class SymState:
         "depth",
         "capturing",
         "options",
+        "bg_jobs",
+        "bg_launched",
     )
 
     def __init__(
@@ -83,6 +102,8 @@ class SymState:
         depth: int = 0,
         capturing: bool = False,
         options: "Optional[set]" = None,
+        bg_jobs: Tuple[BgJob, ...] = (),
+        bg_launched: int = 0,
     ):
         self.env = dict(env or {})
         self.params = list(params or [])
@@ -102,6 +123,10 @@ class SymState:
         self.capturing = capturing
         #: shell options in effect: "e" (errexit), "u" (nounset), ...
         self.options = set(options or ())
+        #: live (unwaited) background jobs, in launch order
+        self.bg_jobs = tuple(bg_jobs)
+        #: how many background jobs this path has launched (job numbering)
+        self.bg_launched = bg_launched
 
     # -- forking -----------------------------------------------------------
 
@@ -122,6 +147,8 @@ class SymState:
             depth=self.depth,
             capturing=self.capturing,
             options=self.options,
+            bg_jobs=self.bg_jobs,
+            bg_launched=self.bg_launched,
         )
         if note:
             child.notes.append(note)

@@ -53,6 +53,17 @@ class TestAnalyzeCli:
         code, out, _ = run_tool(cli.main_analyze, [path, "--lint"], capsys)
         assert "SC2086" in out
 
+    def test_races_on_by_default(self, script_file, capsys):
+        path = script_file("cmd > f &\ngrep x f\n")
+        code, out, _ = run_tool(cli.main_analyze, [path], capsys)
+        assert "race-read-write" in out
+        assert "race-missing-wait" in out
+
+    def test_no_races_toggle(self, script_file, capsys):
+        path = script_file("cmd > f &\ngrep x f\n")
+        code, out, _ = run_tool(cli.main_analyze, [path, "--no-races"], capsys)
+        assert "race-" not in out
+
 
 class TestLintCli:
     def test_reports_codes(self, script_file, capsys):

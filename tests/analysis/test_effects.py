@@ -1,0 +1,183 @@
+"""Effect-graph hazard analysis: file-system races over `&`/`wait`."""
+
+from repro.analysis import analyze
+from repro.analysis.effects import (
+    RaceChecker,
+    build_effect_graph,
+    display_path,
+    find_hazards,
+)
+from repro.obs import TraceRecorder, use_recorder
+from repro.symex import Engine
+
+
+def run_states(source, n_args=0):
+    engine = Engine(checkers=[RaceChecker()])
+    return engine.run_script(source, n_args=n_args)
+
+
+def race_codes(source, n_args=0):
+    result = run_states(source, n_args=n_args)
+    return sorted({d.code for d in result.diagnostics if d.code.startswith("race-")})
+
+
+class TestAcceptanceScenario:
+    SOURCE = "cmd > f &\ngrep x f\n"
+
+    def test_read_write_race_reported(self):
+        result = run_states(self.SOURCE)
+        races = result.by_code("race-read-write")
+        assert races, [d.render() for d in result.diagnostics]
+
+    def test_race_names_both_commands(self):
+        result = run_states(self.SOURCE)
+        [race] = result.by_code("race-read-write")
+        assert "grep x f" in race.message
+        assert "cmd >f" in race.message
+        # both positions are carried: the writer at 1:1, the reader at 2:1
+        joined = " ".join(race.related)
+        assert "1:1" in joined and "2:1" in joined
+
+    def test_missing_wait_reported(self):
+        result = run_states(self.SOURCE)
+        assert result.has("race-missing-wait")
+
+    def test_wait_silences(self):
+        assert race_codes("cmd > f &\nwait\ngrep x f\n") == []
+
+    def test_and_and_sequencing_silences(self):
+        assert race_codes("cmd > f && grep x f\n") == []
+
+    def test_distinct_literal_paths_silent(self):
+        assert race_codes("cmd > f &\ngrep x g\n") == []
+
+
+class TestConflictClasses:
+    def test_write_write_fg_vs_bg(self):
+        assert "race-write-write" in race_codes("cmd > f &\ncmd2 > f\n")
+
+    def test_write_write_two_bg_jobs(self):
+        assert "race-write-write" in race_codes("cmd > f &\ncmd2 > f &\n")
+
+    def test_two_bg_jobs_distinct_files_silent(self):
+        assert race_codes("cmd > f &\ncmd2 > g &\n") == []
+
+    def test_wait_percent_joins_selectively(self):
+        source = (
+            "cmd > f &\ncmd2 > g &\nwait %1\ngrep x f\ngrep y g\n"
+        )
+        result = run_states(source)
+        races = result.by_code("race-read-write")
+        paths = {  # only the un-waited job's file is racy
+            d.message.split("`")[1] for d in races
+        }
+        assert "g" in " ".join(d.message for d in races)
+        assert all("`f`" not in d.message for d in races)
+
+    def test_toctou_check_then_use(self):
+        source = "fetch > f &\ntest -f f && cat f\n"
+        result = run_states(source)
+        toctous = result.by_code("race-toctou")
+        assert toctous
+        assert "test -f f" in toctous[0].message
+        assert "cat f" in toctous[0].message
+        assert "fetch >f" in toctous[0].message
+
+    def test_toctou_silent_after_wait(self):
+        assert "race-toctou" not in race_codes(
+            "fetch > f &\nwait\ntest -f f && cat f\n"
+        )
+
+
+class TestSymbolicAliasing:
+    def test_unconstrained_variable_may_alias(self):
+        codes = race_codes('cmd > "$1" &\ngrep x f\n', n_args=1)
+        assert "race-read-write" in codes
+
+    def test_constrained_disjoint_is_silent(self):
+        source = 'case "$1" in *.log) cmd > "$1" & grep x f;; esac\n'
+        assert race_codes(source, n_args=1) == []
+
+    def test_constrained_overlapping_flags(self):
+        source = 'case "$1" in *.log) cmd > "$1" & grep x a.log;; esac\n'
+        assert "race-read-write" in race_codes(source, n_args=1)
+
+
+class TestEffectGraph:
+    def test_nodes_and_windows(self):
+        result = run_states("cmd > f &\ngrep x f\n")
+        graph = build_effect_graph(result.states[0])
+        labels = {node.label() for node in graph.nodes}
+        assert "cmd >f" in labels and "grep x f" in labels
+        tasks = {node.task for node in graph.nodes}
+        assert 0 in tasks and any(t != 0 for t in tasks)
+        assert len(graph.open_at_exit) == 1  # never waited for
+
+    def test_wait_closes_window(self):
+        result = run_states("cmd > f &\nwait\ngrep x f\n")
+        graph = build_effect_graph(result.states[0])
+        assert graph.open_at_exit == []
+        [window] = graph.windows.values()
+        assert window.close_idx is not None
+
+    def test_fork_and_join_edges(self):
+        result = run_states("mkdir /srv/d\ncmd > f &\nwait\ngrep x f\n")
+        graph = build_effect_graph(result.states[0])
+        kinds = {edge.kind for edge in graph.edges}
+        assert "fork" in kinds and "join" in kinds
+
+    def test_render_mentions_commands(self):
+        result = run_states("cmd > f &\ngrep x f\n")
+        text = build_effect_graph(result.states[0]).render()
+        assert "cmd >f" in text and "grep x f" in text and "bg#" in text
+
+    def test_display_path_hides_cwd_root(self):
+        assert display_path("<v-1>/f") == "f"
+        assert display_path("<v-1>") == "."
+        assert display_path("/etc/passwd") == "/etc/passwd"
+
+    def test_no_hazards_without_windows(self):
+        result = run_states("cmd > f\ngrep x f\n")
+        graph = build_effect_graph(result.states[0])
+        assert graph.windows == {}
+        assert find_hazards(graph) == []
+
+
+class TestTelemetry:
+    def test_counters_recorded(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            report = analyze("cmd > f &\ngrep x f\n")
+        assert report.races()
+        assert recorder.counter("effects.background_jobs") > 0
+        assert recorder.counter("effects.graph_nodes") > 0
+        assert recorder.counter("effects.conflicts") > 0
+        assert recorder.counter("effects.regions_open_at_exit") > 0
+
+    def test_effects_span_present(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            analyze("cmd > f &\ngrep x f\n")
+        names = {span.name for span in recorder.iter_spans()}
+        assert "analysis.effects" in names
+
+
+class TestAnalyzerIntegration:
+    def test_report_races_accessor_and_summary(self):
+        report = analyze("cmd > f &\ngrep x f\n")
+        assert report.races()
+        assert "interleaving hazard" in report.render()
+
+    def test_no_races_toggle(self):
+        report = analyze("cmd > f &\ngrep x f\n", races=False)
+        assert report.races() == []
+
+    def test_related_rendered(self):
+        report = analyze("cmd > f &\ngrep x f\n")
+        [race] = report.by_code("race-read-write")
+        assert race.related
+        assert "with:" in race.render()
+
+    def test_clean_script_unaffected(self):
+        report = analyze("mkdir -p /srv/app\n")
+        assert report.races() == []

@@ -59,6 +59,10 @@ class TestRules:
     def test_sc2154_assigned_ok(self):
         assert "SC2154" not in lint_codes('x=1\necho "$x"')
 
+    def test_sc2154_shell_set_vars_ok(self):
+        for name in ("PPID", "UID", "OPTERR"):
+            assert "SC2154" not in lint_codes(f'echo "${name}"'), name
+
     def test_sc2034_unused(self):
         assert "SC2034" in lint_codes("UNUSED=1\necho hi")
 

@@ -1,0 +1,105 @@
+"""Background jobs (`cmd &`) and the `wait` builtin."""
+
+from repro.analysis.effects import RaceChecker
+from repro.fs import FsOp
+from repro.symex import Engine
+
+
+def run(source, n_args=0, checkers=None):
+    engine = Engine(checkers=checkers or [])
+    return engine.run_script(source, n_args=n_args)
+
+
+class TestBackgroundSemantics:
+    def test_launch_status_is_zero(self):
+        result = run("false &")
+        assert {st.status for st in result.states} == {0}
+
+    def test_env_isolation(self):
+        # the job runs in a subshell: its assignments stay there
+        result = run("x=1 &\necho done")
+        for state in result.states:
+            assert "x" not in state.env
+
+    def test_child_exit_does_not_halt_parent(self):
+        result = run("exit 1 &\nmkdir /srv/d\n")
+        assert result.states
+        for state in result.states:
+            assert not state.halted
+        # the parent kept executing: mkdir's create is on some trace
+        # (its spec also forks a failure path with no create)
+        assert any(
+            e.op is FsOp.CREATE
+            for state in result.states
+            for e in state.fs.log
+        )
+
+    def test_cwd_isolation(self):
+        result = run("cd /tmp &\nmkdir d\n")
+        # `d` resolved against the original (symbolic) cwd, not /tmp
+        creates = [
+            e
+            for state in result.states
+            for e in state.fs.log
+            if e.op is FsOp.CREATE
+        ]
+        assert creates and all("tmp" not in e.path for e in creates)
+
+    def test_bg_jobs_tracked(self):
+        result = run("cmd > f &\ncmd2 > g &\n")
+        for state in result.states:
+            assert [job.number for job in state.bg_jobs] == [1, 2]
+            assert state.bg_launched == 2
+
+    def test_effects_recorded_with_task(self):
+        result = run("cmd > f &\n")
+        state = result.states[0]
+        writes = [e for e in state.fs.log if e.op in (FsOp.WRITE, FsOp.CREATE)]
+        assert writes and all(e.task != 0 for e in writes)
+        opens = [e for e in state.fs.log if e.op is FsOp.BG_OPEN]
+        assert len(opens) == 1
+
+
+class TestWaitBuiltin:
+    def test_wait_joins_all(self):
+        result = run("cmd > f &\ncmd2 > g &\nwait\n")
+        for state in result.states:
+            assert state.bg_jobs == ()
+            assert state.status == 0
+            closes = [e for e in state.fs.log if e.op is FsOp.BG_CLOSE]
+            assert len(closes) == 2
+
+    def test_wait_percent_selective(self):
+        result = run("cmd > f &\ncmd2 > g &\nwait %1\n")
+        for state in result.states:
+            assert [job.number for job in state.bg_jobs] == [2]
+            closes = [e for e in state.fs.log if e.op is FsOp.BG_CLOSE]
+            assert len(closes) == 1
+
+    def test_wait_percent_status_unknown(self):
+        result = run("cmd > f &\nwait %1\n")
+        assert {st.status for st in result.states} == {None}
+
+    def test_wait_with_no_jobs_is_noop(self):
+        result = run("wait\n")
+        assert {st.status for st in result.states} == {0}
+
+    def test_regression_sequence_background_wait(self):
+        # a & b; wait; c — explores cleanly, joins the job, and runs c
+        result = run("a &\nb\nwait\nc\n", checkers=[RaceChecker()])
+        assert result.states
+        for state in result.states:
+            assert state.bg_jobs == ()
+        assert not [
+            d for d in result.diagnostics if d.code.startswith("race-")
+        ]
+
+
+class TestPruneInteraction:
+    def test_states_with_different_live_jobs_do_not_merge(self):
+        # the branch launches a job only on one arm; merging the two
+        # states would lose the job's liveness
+        source = 'if probe; then cmd > f & fi\ngrep x f\n'
+        result = run(source, checkers=[RaceChecker()])
+        live = {tuple(j.number for j in st.bg_jobs) for st in result.states}
+        assert () in live and (1,) in live
