@@ -1,0 +1,149 @@
+"""E-batch: corpus-scale batch analysis guards.
+
+Two properties anchor the batch driver:
+
+1. **Warm-cache O(1) re-analysis** — a second run over an unchanged
+   corpus must do zero symbolic execution (100% ``batch.cache.hit``)
+   and cost a small fraction of the cold run, independent of how
+   expensive the per-file analyses were.
+2. **Parallel speedup** — with several workers, wall-clock on a
+   40-script corpus must beat the serial run (skipped on single-core
+   machines, where there is nothing to win).
+"""
+
+import os
+import time
+
+import pytest
+from conftest import emit
+
+from repro.analysis import BatchConfig, ResultCache, run_batch
+from repro.obs import TraceRecorder, use_recorder
+
+CORPUS_SIZE = 40
+
+
+def _script(index):
+    # per-index paths defeat any content dedup; loops + conditionals
+    # give every file a non-trivial symbolic execution
+    return (
+        f"base=/srv/app{index}\n"
+        f"for part in a b c d e; do\n"
+        f'  if [ -f "$base/$part" ]; then\n'
+        f'    rm "$base/$part"\n'
+        f"  else\n"
+        f'    mkdir -p "$base"\n'
+        f"  fi\n"
+        f"done\n"
+        f"grep pattern{index} /etc/config{index} > /tmp/out{index}\n"
+    )
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    scripts = tmp_path / "corpus"
+    scripts.mkdir()
+    for index in range(CORPUS_SIZE):
+        (scripts / f"s{index:02d}.sh").write_text(_script(index))
+    return scripts
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_warm_cache_rerun_is_o1(corpus, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    config = BatchConfig()
+
+    cold, cold_seconds = _timed(
+        lambda: run_batch([str(corpus)], config=config, jobs=1, cache=cache)
+    )
+    assert len(cold.results) == CORPUS_SIZE
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        warm, warm_seconds = _timed(
+            lambda: run_batch([str(corpus)], config=config, jobs=1, cache=cache)
+        )
+
+    emit(
+        "E-batch (cold vs warm cache)",
+        [
+            f"corpus: {CORPUS_SIZE} scripts",
+            f"cold: {cold_seconds * 1e3:.1f}ms",
+            f"warm: {warm_seconds * 1e3:.1f}ms "
+            f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x faster)",
+            f"hits: {recorder.counter('batch.cache.hit')}/{CORPUS_SIZE}",
+        ],
+    )
+
+    # the acceptance bar: zero symbolic execution on the warm run
+    assert recorder.counter("symex.runs") == 0
+    assert recorder.counter("batch.cache.hit") == CORPUS_SIZE
+    assert recorder.counter("batch.cache.miss") == 0
+    assert warm.render() == cold.render()
+    # O(1) per file: hashing + one small JSON read, far from re-analysis
+    assert warm_seconds < cold_seconds / 5, (
+        f"warm rerun took {warm_seconds * 1e3:.1f}ms, "
+        f"expected well under cold {cold_seconds * 1e3:.1f}ms / 5"
+    )
+
+
+def test_warm_cost_is_flat_in_analysis_depth(corpus, tmp_path):
+    """Warm-run cost tracks corpus *size*, not analysis *cost*: raising
+    the engine budgets (a much more expensive cold analysis) must leave
+    the warm rerun essentially unchanged."""
+    cheap_cache = ResultCache(str(tmp_path / "cache-cheap"))
+    deep_cache = ResultCache(str(tmp_path / "cache-deep"))
+    cheap = BatchConfig(max_loop=1)
+    deep = BatchConfig(max_loop=3, max_fork=128)
+
+    run_batch([str(corpus)], config=cheap, jobs=1, cache=cheap_cache)
+    run_batch([str(corpus)], config=deep, jobs=1, cache=deep_cache)
+
+    _, warm_cheap = _timed(
+        lambda: run_batch([str(corpus)], config=cheap, jobs=1, cache=cheap_cache)
+    )
+    _, warm_deep = _timed(
+        lambda: run_batch([str(corpus)], config=deep, jobs=1, cache=deep_cache)
+    )
+    emit(
+        "E-batch (warm cost vs analysis depth)",
+        [
+            f"warm shallow config: {warm_cheap * 1e3:.1f}ms",
+            f"warm deep config:    {warm_deep * 1e3:.1f}ms",
+        ],
+    )
+    # both are cache reads; allow generous jitter but forbid scaling
+    # with the (much larger) deep analysis cost
+    assert warm_deep < max(warm_cheap * 3, 0.25)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="parallel speedup needs >1 CPU"
+)
+def test_four_workers_beat_serial(corpus, tmp_path):
+    config = BatchConfig()
+
+    _, serial_seconds = _timed(
+        lambda: run_batch([str(corpus)], config=config, jobs=1, cache=None)
+    )
+    parallel, parallel_seconds = _timed(
+        lambda: run_batch([str(corpus)], config=config, jobs=4, cache=None)
+    )
+    emit(
+        "E-batch (serial vs 4 workers)",
+        [
+            f"serial:   {serial_seconds * 1e3:.1f}ms",
+            f"4 workers: {parallel_seconds * 1e3:.1f}ms "
+            f"({serial_seconds / max(parallel_seconds, 1e-9):.2f}x)",
+        ],
+    )
+    assert len(parallel.results) == CORPUS_SIZE
+    assert parallel_seconds < serial_seconds * 0.85, (
+        f"4-worker run ({parallel_seconds * 1e3:.1f}ms) failed to beat "
+        f"serial ({serial_seconds * 1e3:.1f}ms) by >= 15%"
+    )

@@ -1,0 +1,4 @@
+#!/bin/sh
+# The generator may still be running when the consumer reads its output.
+./generate_report > report.txt &
+grep ERROR report.txt

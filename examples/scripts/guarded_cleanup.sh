@@ -1,0 +1,9 @@
+#!/bin/sh
+# The fixed variant (paper Fig. 2): the guard makes the deletion safe.
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+if [ "$(realpath "$STEAMROOT/")" != "/" ]; then
+  rm -fr "$STEAMROOT"/*
+else
+  echo "Bad script path: $0"
+  exit 1
+fi

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Idempotence: mkdir without -p fails on re-run.
+mkdir /opt/app
+mkdir /opt/app/bin
+cp tool /opt/app/bin/tool

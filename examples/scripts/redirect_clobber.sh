@@ -1,0 +1,4 @@
+#!/bin/sh
+# Classic footgun: the shell truncates the output file before grep
+# ever reads it, destroying the input.
+grep -v '^#' config.txt > config.txt

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Loop control: give up after the first successful attempt.
+for host in a.example b.example c.example; do
+  if curl -sf "https://$host/health"; then
+    echo "healthy: $host"
+    break
+  fi
+done

@@ -1,0 +1,5 @@
+#!/bin/sh
+# The motivating bug (paper Fig. 1): an empty expansion turns a scoped
+# cleanup into `rm -fr /*`.
+STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
+rm -fr "$STEAMROOT"/*

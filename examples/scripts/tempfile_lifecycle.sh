@@ -1,0 +1,6 @@
+#!/bin/sh
+# mktemp output is /tmp/-rooted, so this cleanup is provably scoped.
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+date > "$tmp"
+grep ':' "$tmp"

@@ -8,7 +8,11 @@ from .annotations import (
     merge_annotations,
     parse_annotations,
 )
+from .batch import BatchConfig, BatchResult, FileResult, discover, run_batch
+from .cache import ResultCache, cache_key, default_cache_dir
 from .report import Report
 
 __all__ = ["analyze", "Report", "parse_annotations", "AnnotationSet", "AnnotationError",
-           "load_annotation_file", "merge_annotations"]
+           "load_annotation_file", "merge_annotations",
+           "BatchConfig", "BatchResult", "FileResult", "discover", "run_batch",
+           "ResultCache", "cache_key", "default_cache_dir"]

@@ -1,0 +1,287 @@
+"""Corpus-scale batch analysis.
+
+The paper's ahead-of-time framing (§2, §6) amortizes analysis across
+whole script corpora; per-file independence makes that embarrassingly
+parallel.  This driver accepts files, directories, and glob patterns,
+fans the work out to a process pool, and consults the persistent
+:mod:`~repro.analysis.cache` so unchanged files cost one hash + one
+read on re-analysis instead of a symbolic execution.
+
+Counters (visible via ``--stats``): ``batch.files``,
+``batch.cache.hit`` / ``batch.cache.miss`` / ``batch.cache.store``;
+per-file analysis seconds feed the ``batch.file_seconds`` histogram so
+the stats table shows aggregate CPU time next to wall time (their ratio
+is the realized parallel speedup).
+"""
+
+from __future__ import annotations
+
+import glob as glob_mod
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..diag import Diagnostic, Severity
+from ..obs import get_recorder
+from .analyzer import analyze
+from .cache import ResultCache, cache_key
+from .report import Report
+
+#: extensions treated as shell scripts when scanning a directory
+SCRIPT_EXTENSIONS = (".sh", ".bash")
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """The analyzer options one batch run applies to every file.
+
+    Frozen + picklable (crosses the process-pool boundary) and
+    fingerprintable (feeds the cache key, so flipping any option
+    invalidates exactly the affected entries).
+    """
+
+    n_args: int = 0
+    platform_targets: Optional[Tuple[str, ...]] = None
+    include_lint: bool = False
+    max_fork: int = 64
+    max_loop: int = 2
+    prune: bool = True
+    races: bool = True
+
+    def fingerprint(self) -> str:
+        return (
+            f"n_args={self.n_args};platforms={self.platform_targets};"
+            f"lint={self.include_lint};max_fork={self.max_fork};"
+            f"max_loop={self.max_loop};prune={self.prune};races={self.races}"
+        )
+
+    def analyze_kwargs(self) -> dict:
+        return {
+            "n_args": self.n_args,
+            "platform_targets": self.platform_targets,
+            "include_lint": self.include_lint,
+            "max_fork": self.max_fork,
+            "max_loop": self.max_loop,
+            "prune": self.prune,
+            "races": self.races,
+        }
+
+
+@dataclass
+class FileResult:
+    """One analyzed file: its report plus how the result was obtained."""
+
+    path: str
+    report: Report
+    cached: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class BatchResult:
+    """Per-file results (in input order) plus corpus-level accounting."""
+
+    results: List[FileResult] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def unsafe(self) -> bool:
+        return any(r.report.unsafe for r in self.results)
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Aggregated multi-file output: per-file headers plus a corpus
+        summary line.  Deliberately free of cache/timing details so a
+        fully-warm rerun is byte-identical to the cold run."""
+        blocks = []
+        errors = warnings = infos = flagged = 0
+        for result in self.results:
+            report = result.report
+            errors += len(report.errors())
+            warnings += len(report.warnings())
+            infos += len(report.infos())
+            if not report.ok:
+                flagged += 1
+            blocks.append(f"== {result.path} ==\n{report.render(min_severity)}")
+        summary = (
+            f"{len(self.results)} file(s) analyzed: {errors} error(s), "
+            f"{warnings} warning(s), {infos} note(s); {flagged} file(s) flagged"
+        )
+        blocks.append(summary)
+        return "\n\n".join(blocks)
+
+
+def discover(inputs: Sequence[str]) -> List[str]:
+    """Expand files, directories, and glob patterns into a sorted,
+    deduplicated list of script paths.
+
+    Explicit file arguments are always included; directories are walked
+    recursively for ``*.sh`` / ``*.bash``; anything else is tried as a
+    glob pattern.
+    """
+    found: List[str] = []
+    for item in inputs:
+        if os.path.isdir(item):
+            for dirpath, dirnames, filenames in os.walk(item):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(SCRIPT_EXTENSIONS):
+                        found.append(os.path.join(dirpath, name))
+        elif os.path.isfile(item):
+            found.append(item)
+        else:
+            found.extend(
+                path
+                for path in glob_mod.glob(item, recursive=True)
+                if os.path.isfile(path)
+            )
+    seen = set()
+    unique: List[str] = []
+    for path in sorted(found):
+        normal = os.path.normpath(path)
+        if normal not in seen:
+            seen.add(normal)
+            unique.append(normal)
+    return unique
+
+
+def _read_error_report(source: str, message: str) -> Report:
+    return Report(
+        source=source,
+        diagnostics=[
+            Diagnostic(
+                code="read-error",
+                message=message,
+                severity=Severity.ERROR,
+                always=True,
+            )
+        ],
+    )
+
+
+def analyze_source(source: str, config: BatchConfig) -> dict:
+    """Analyze one script and return its serialized report (the worker
+    body; module-level so it pickles across the pool boundary)."""
+    return analyze(source, **config.analyze_kwargs()).to_dict()
+
+
+def _pool_worker(item: Tuple[str, str, BatchConfig]) -> Tuple[str, dict, float]:
+    path, source, config = item
+    started = time.perf_counter()
+    data = analyze_source(source, config)
+    return path, data, time.perf_counter() - started
+
+
+def run_batch(
+    inputs: Sequence[str],
+    config: Optional[BatchConfig] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> BatchResult:
+    """Analyze every script reachable from ``inputs``.
+
+    ``jobs=None`` means ``os.cpu_count()``; ``cache=None`` disables
+    caching.  Reports always round-trip through
+    ``Report.from_dict(...to_dict())`` — the pool and the cache both
+    traffic in the serialized form — so cold, warm, parallel, and serial
+    runs render identically.
+    """
+    config = config if config is not None else BatchConfig()
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    rec = get_recorder()
+    paths = discover(inputs)
+    fingerprint = config.fingerprint()
+
+    batch = BatchResult()
+    slots: List[Optional[FileResult]] = []
+    pending: List[Tuple[int, str, str, str]] = []  # (slot, path, source, key)
+
+    with rec.span("batch.run"):
+        for path in paths:
+            rec.count("batch.files")
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                slots.append(
+                    FileResult(path=path, report=_read_error_report("", str(exc)))
+                )
+                continue
+            key = cache_key(source, fingerprint)
+            if cache is not None:
+                data = cache.get(key)
+                if data is not None:
+                    rec.count("batch.cache.hit")
+                    slots.append(
+                        FileResult(
+                            path=path,
+                            report=Report.from_dict(data),
+                            cached=True,
+                        )
+                    )
+                    continue
+                rec.count("batch.cache.miss")
+            slots.append(None)
+            pending.append((len(slots) - 1, path, source, key))
+
+        for (slot, path, _, key), (data, seconds) in zip(
+            pending, _drain(pending, config, jobs, rec)
+        ):
+            if cache is not None and cache.put(key, data):
+                rec.count("batch.cache.store")
+            rec.observe("batch.file_seconds", seconds)
+            slots[slot] = FileResult(
+                path=path,
+                report=Report.from_dict(data),
+                cached=False,
+                seconds=seconds,
+            )
+
+    batch.results = [r for r in slots if r is not None]
+    batch.hits = sum(1 for r in batch.results if r.cached)
+    batch.misses = sum(
+        1 for r in batch.results
+        if not r.cached and not r.report.has("read-error")
+    )
+    return batch
+
+
+def _drain(
+    pending: List[Tuple[int, str, str, str]],
+    config: BatchConfig,
+    jobs: int,
+    rec,
+):
+    """Yield ``(report_dict, seconds)`` for every pending file in input
+    order, using a process pool when it pays off and falling back to
+    inline analysis when pools are unavailable (restricted sandboxes)."""
+    if not pending:
+        return
+    if jobs > 1 and len(pending) > 1:
+        try:
+            results = _drain_pool(pending, config, jobs)
+        except (OSError, ImportError, RuntimeError):
+            # no multiprocessing in this environment (sandboxed /dev/shm,
+            # missing semaphores, broken pool): degrade to inline
+            rec.count("batch.pool_unavailable")
+        else:
+            for _, data, seconds in results:
+                yield data, seconds
+            return
+    for _, _, source, _ in pending:
+        started = time.perf_counter()
+        with rec.span("batch.file"):
+            data = analyze_source(source, config)
+        yield data, time.perf_counter() - started
+
+
+def _drain_pool(
+    pending: List[Tuple[int, str, str, str]], config: BatchConfig, jobs: int
+) -> List[Tuple[str, dict, float]]:
+    import concurrent.futures as futures
+
+    work = [(path, source, config) for _, path, source, _ in pending]
+    with futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_pool_worker, work))

@@ -1,0 +1,109 @@
+"""A content-addressed on-disk cache for analysis reports.
+
+Reports are keyed by ``sha256(source)`` combined with a fingerprint of
+the analyzer configuration and a version salt covering the spec corpus,
+the rule set, and the report schema — so editing a script, changing an
+analysis flag, or upgrading the analyzer each invalidate exactly the
+entries they affect, and nothing else.
+
+Entries are JSON files (one per report, sharded by key prefix) written
+atomically; a corrupt or unreadable entry is indistinguishable from a
+miss.  The cache is safe to share between concurrent processes: writers
+never modify files in place, and readers tolerate partial state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from .. import __version__
+from .report import Report
+
+#: bump to invalidate every cache entry produced by older analyzers
+#: (e.g. when engine semantics or checker rules change without a
+#: package-version bump)
+ANALYSIS_SALT = "analysis-v1"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/analysis``,
+    else ``~/.cache/repro/analysis``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "analysis")
+
+
+def version_salt() -> str:
+    """The part of every key that ties entries to this analyzer build:
+    package version, report schema, rule salt, and the spec corpus (so
+    adding or changing a command spec invalidates prior results)."""
+    from ..specs import default_registry
+
+    spec_names = ",".join(default_registry().names())
+    spec_digest = hashlib.sha256(spec_names.encode("utf-8")).hexdigest()[:16]
+    return (
+        f"{__version__}/{ANALYSIS_SALT}/schema{Report.SCHEMA_VERSION}"
+        f"/specs:{spec_digest}"
+    )
+
+
+def cache_key(source: str, config_fingerprint: str) -> str:
+    """The content address of one (script, configuration) pair."""
+    hasher = hashlib.sha256()
+    hasher.update(source.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(config_fingerprint.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(version_salt().encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Load/store serialized reports under a root directory."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored report dict, or None on a miss (including corrupt
+        or partially-written entries)."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != Report.SCHEMA_VERSION:
+            return None
+        return data
+
+    def put(self, key: str, data: dict) -> bool:
+        """Atomically store a report dict; best-effort (a read-only or
+        full disk silently degrades the cache to a pass-through)."""
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(data, handle, separators=(",", ":"))
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True

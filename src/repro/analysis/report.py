@@ -52,6 +52,38 @@ class Report:
         """At least one definite incorrectness."""
         return bool(self.errors())
 
+    # -- serialization -------------------------------------------------------
+
+    #: bump when the dict layout changes (also salted into cache keys)
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict that :meth:`from_dict` restores exactly —
+        ``Report.from_dict(r.to_dict()).render()`` is byte-identical to
+        ``r.render()``, including race hazards and ``related`` entries."""
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "source": self.source,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "paths_explored": self.paths_explored,
+            "paths_merged": self.paths_merged,
+            "states": self.states,
+            "truncations": self.truncations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Report":
+        return cls(
+            source=data.get("source", ""),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ],
+            paths_explored=data.get("paths_explored", 0),
+            paths_merged=data.get("paths_merged", 0),
+            states=data.get("states", 0),
+            truncations=data.get("truncations", 0),
+        )
+
     # -- rendering -----------------------------------------------------------
 
     def render(self, min_severity: Severity = Severity.INFO) -> str:

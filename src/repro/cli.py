@@ -14,6 +14,7 @@ Without a build step the same entry points are available as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import contextmanager
 from typing import List, Optional
@@ -86,12 +87,37 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
         prog="repro-analyze",
         description="Ahead-of-time semantics-driven analysis of a shell script.",
     )
-    parser.add_argument("script", help="script path, or - for stdin")
+    parser.add_argument(
+        "script",
+        nargs="+",
+        help="script path(s), director(ies), glob pattern(s), or - for stdin; "
+        "more than one input (or a directory/glob) switches to batch mode",
+    )
     parser.add_argument("--args", type=int, default=0, help="number of positional args")
     parser.add_argument(
         "--platforms", nargs="*", default=None, help="deployment platforms to check"
     )
     parser.add_argument("--lint", action="store_true", help="also run the syntactic baseline")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch mode: analyze up to N files in parallel "
+        "(default: the machine's CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="batch mode: persistent result cache location "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/analysis)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="batch mode: re-analyze every file, ignoring the cache",
+    )
     parser.add_argument(
         "--races",
         action="store_true",
@@ -111,20 +137,47 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     _add_common_flags(parser)
     options = parser.parse_args(argv)
 
-    from .analysis import analyze
     from .diag import Severity
+
+    min_severity = Severity.ERROR if options.errors_only else Severity.INFO
+    inputs = options.script
+    batch_mode = len(inputs) > 1 or (
+        inputs[0] != "-" and not os.path.isfile(inputs[0])
+    )
+    if batch_mode:
+        return _analyze_batch(options, inputs, min_severity)
+
+    from .analysis import analyze
 
     with _observed("repro-analyze", options):
         report = analyze(
-            _read_script(options.script),
+            _read_script(inputs[0]),
             n_args=options.args,
             platform_targets=options.platforms,
             include_lint=options.lint,
             races=options.races,
         )
-    min_severity = Severity.ERROR if options.errors_only else Severity.INFO
     print(report.render(min_severity=min_severity))
     return 1 if report.unsafe else 0
+
+
+def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity) -> int:
+    from .analysis import BatchConfig, ResultCache, run_batch
+
+    config = BatchConfig(
+        n_args=options.args,
+        platform_targets=tuple(options.platforms) if options.platforms else None,
+        include_lint=options.lint,
+        races=options.races,
+    )
+    cache = None if options.no_cache else ResultCache(options.cache_dir)
+    with _observed("repro-analyze", options):
+        batch = run_batch(inputs, config=config, jobs=options.jobs, cache=cache)
+    if not batch.results:
+        print("repro-analyze: no scripts found", file=sys.stderr)
+        return 2
+    print(batch.render(min_severity=min_severity))
+    return 1 if batch.unsafe else 0
 
 
 # ---------------------------------------------------------------------------

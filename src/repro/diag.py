@@ -55,6 +55,47 @@ class Diagnostic:
     def key(self) -> Tuple:
         return (self.code, self.message, str(self.pos), self.always)
 
+    # -- serialization (stable across processes and cache generations) ------
+
+    def to_dict(self) -> dict:
+        data = {
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+            "always": self.always,
+            "witness": self.witness,
+            "source": self.source,
+            "related": list(self.related),
+        }
+        if self.pos is not None:
+            data["pos"] = {
+                "line": self.pos.line,
+                "col": self.pos.col,
+                "offset": self.pos.offset,
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        pos = None
+        if data.get("pos") is not None:
+            raw = data["pos"]
+            pos = Position(
+                line=raw.get("line", 1),
+                col=raw.get("col", 1),
+                offset=raw.get("offset", 0),
+            )
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            severity=Severity(data.get("severity", "warning")),
+            pos=pos,
+            always=data.get("always", False),
+            witness=data.get("witness", ""),
+            source=data.get("source", "semantic"),
+            related=tuple(data.get("related", ())),
+        )
+
 
 def dedupe(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
     """Drop duplicates, preferring 'always' over 'may' for the same issue."""

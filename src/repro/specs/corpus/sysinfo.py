@@ -268,6 +268,39 @@ def find_spec() -> CommandSpec:
     )
 
 
+def mktemp_spec() -> CommandSpec:
+    """mktemp prints the path it created — crucially, a path rooted under
+    /tmp, so deleting ``$(mktemp)`` is *not* a dangerous deletion (the
+    output language cannot reach ``/`` or other top-level paths)."""
+    return CommandSpec(
+        name="mktemp",
+        summary="create a unique temporary file or directory",
+        options={"d": False, "u": False, "q": False, "p": True, "t": False},
+        long_options={"directory": False, "dry-run": False, "tmpdir": True,
+                      "suffix": True},
+        max_operands=1,  # an optional template
+        clauses=[
+            Clause(pre=(), effects=(), exit_code=0, note="created"),
+            Clause(pre=(), effects=(), exit_code=1, stderr=True,
+                   note="creation failed"),
+        ],
+        stdout=StreamType.of(r"/tmp/[A-Za-z0-9._-]+", "tmppath"),
+        operands_are_paths=False,  # the template is a pattern, not a path
+    )
+
+
+def trap_spec() -> CommandSpec:
+    """``trap`` registers a handler; registration itself has no
+    file-system effects (the handler body is out of scope here)."""
+    return CommandSpec(
+        name="trap",
+        summary="register a signal/exit handler",
+        options={"l": False, "p": False},
+        clauses=[Clause(pre=(), effects=(), exit_code=0, note="registered")],
+        operands_are_paths=False,
+    )
+
+
 def test_spec() -> CommandSpec:
     """External `test`; the `[`/`test` builtin is handled by the engine,
     this spec exists for completeness and for the miner benchmark."""
@@ -302,5 +335,7 @@ def all_sysinfo():
         wget_spec(),
         sh_spec(),
         find_spec(),
+        mktemp_spec(),
+        trap_spec(),
         test_spec(),
     ]

@@ -578,6 +578,43 @@ def builtin_set(argv: List[SymString], state: SymState, engine: "Engine") -> Lis
     return [state.with_status(0)]
 
 
+def builtin_break(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
+    return _loop_control("break", argv, state, engine)
+
+
+def builtin_continue(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
+    return _loop_control("continue", argv, state, engine)
+
+
+def _loop_control(
+    kind: str, argv: List[SymString], state: SymState, engine: "Engine"
+) -> List[SymState]:
+    """``break [N]`` / ``continue [N]``: exit or restart N enclosing loops.
+
+    The builtin only *raises* the signal (on ``state.loop_control``); the
+    engine's loop evaluators consume it one level per loop boundary, so
+    ``break 2`` inside a nested loop unwinds both.
+    """
+    levels = 1
+    if len(argv) > 1:
+        concrete = argv[1].concrete_value()
+        if concrete is not None and concrete.isdigit() and int(concrete) >= 1:
+            levels = int(concrete)
+    depth = engine.loop_depth
+    if depth <= 0:
+        state.warn(
+            Diagnostic(
+                code="loop-control-outside-loop",
+                message=f"'{kind}' outside any enclosing loop has no effect",
+                severity=Severity.INFO,
+            )
+        )
+        return [state.with_status(0)]
+    # bash clamps N to the number of enclosing loops
+    state.loop_control = (kind, min(levels, depth))
+    return [state.with_status(0)]
+
+
 def builtin_wait(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
     """``wait`` joins background jobs: it closes their event-log regions
     (their effects can no longer interleave with anything later) and
@@ -631,4 +668,6 @@ _BUILTINS: Dict[str, Callable] = {
     "set": builtin_set,
     "realpath": builtin_realpath,
     "wait": builtin_wait,
+    "break": builtin_break,
+    "continue": builtin_continue,
 }

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..checkers.base import Checker
 from ..diag import Diagnostic, Severity, dedupe
-from ..fs import FsContradiction, NodeKind, Origin, parse_sympath
+from ..fs import FsContradiction, FsOp, NodeKind, Origin, parse_sympath
 from ..obs import Recorder, get_recorder
 from ..rlang import Regex
 from ..rtypes import StreamType, check_pipeline
@@ -127,6 +127,9 @@ class Engine:
         self._cond_depth = 0
         #: background region ids handed out this run (0 = foreground)
         self._region_counter = 0
+        #: how many loops lexically enclose the current evaluation point
+        #: (break/continue clamp their level to this, per bash)
+        self.loop_depth = 0
         #: provenance labels, cached per AST node (id(node) -> Origin)
         self._origin_cache: Dict[int, Origin] = {}
 
@@ -166,6 +169,7 @@ class Engine:
         self._success_tracker = {}
         self._region_counter = 0
         self._origin_cache = {}
+        self.loop_depth = 0
         if state is None:
             state = self.initial_state(n_args=n_args)
         with rec.span("symex.run"):
@@ -213,6 +217,10 @@ class Engine:
 
     def eval(self, node: Command, state: SymState) -> List[SymState]:
         if state.halted:
+            return [state]
+        if state.loop_control is not None:
+            # a pending break/continue skips everything until the
+            # enclosing loop consumes it
             return [state]
         self.paths_explored += 1
         rec = self._rec
@@ -639,6 +647,10 @@ class Engine:
                     for val_state, value in expand_word(redirect.target, st, self):
                         node_id = self._resolve(value, val_state)
                         if node_id is not None:
+                            if redirect.op != ">>":
+                                self._check_clobbers_input(
+                                    redirect, node_id, val_state, FsOp.READ
+                                )
                             try:
                                 val_state.fs.write_file(node_id)
                             except FsContradiction as exc:
@@ -658,6 +670,9 @@ class Engine:
                     for val_state, value in expand_word(redirect.target, st, self):
                         node_id = self._resolve(value, val_state)
                         if node_id is not None:
+                            self._check_clobbers_input(
+                                redirect, node_id, val_state, FsOp.WRITE
+                            )
                             try:
                                 val_state.fs.read_file(node_id)
                             except FsContradiction as exc:
@@ -675,6 +690,49 @@ class Engine:
                 states = next_states
             # <&, >&, <>, heredocs: no fs consequences we track
         return states
+
+    def _check_clobbers_input(
+        self,
+        redirect: Redirect,
+        node_id: int,
+        state: SymState,
+        prior_op: "FsOp",
+    ) -> None:
+        """Warn when a truncating output redirect targets a file the same
+        command also uses as input (``grep foo file > file``): the shell
+        opens and truncates the output file *before* the command runs, so
+        the input is destroyed.
+
+        ``prior_op`` is the conflicting event kind already on the trace:
+        a READ when processing an output redirect, a WRITE when
+        processing an input one (covering both orderings of
+        ``< file > file``).
+        """
+        log = state.fs.log
+        origin = log.origin
+        if origin is None:
+            return
+        for event in reversed(log.events):
+            if event.origin is not origin:
+                # this command's events form the tail of the trace
+                break
+            if event.op is prior_op and event.node == node_id:
+                path = redirect.target.literal_text() or event.path or "the file"
+                state.warn(
+                    Diagnostic(
+                        code="redirect-clobbers-input",
+                        message=(
+                            f"output redirection truncates {path!r}, which "
+                            "is also this command's input; the shell opens "
+                            "the output file before the command reads it"
+                        ),
+                        severity=Severity.WARNING,
+                        pos=redirect.target.pos,
+                        always=True,
+                        related=(f"input read by {origin.describe()}",),
+                    )
+                )
+                return
 
     # -- composition ---------------------------------------------------------------------
 
@@ -823,7 +881,9 @@ class Engine:
             set(state.options),
             state.bg_jobs,
             state.bg_launched,
+            state.loop_control,
         )
+        state.loop_control = None
         job = BgJob(
             number=state.bg_launched + 1,
             region=region,
@@ -834,10 +894,26 @@ class Engine:
         log.open_region(region, label=origin.label, origin=origin)
         prev_task = log.task
         log.task = region
-        results = self.eval(node.command, state)
+        saved_depth = self.loop_depth
+        self.loop_depth = 0
+        try:
+            results = self.eval(node.command, state)
+        finally:
+            self.loop_depth = saved_depth
         for result in results:
             result.fs.log.task = prev_task
-            env, params, functions, cwd_node, cwd_str, halted, options, jobs, launched = saved
+            (
+                env,
+                params,
+                functions,
+                cwd_node,
+                cwd_str,
+                halted,
+                options,
+                jobs,
+                launched,
+                loop_control,
+            ) = saved
             result.env = dict(env)
             result.params = list(params)
             result.functions = dict(functions)
@@ -847,13 +923,22 @@ class Engine:
             result.options = set(options)
             result.bg_jobs = jobs + (job,)
             result.bg_launched = launched + 1
+            result.loop_control = loop_control
             result.status = 0
         return results
 
     def eval_subshell(self, node: Subshell, state: SymState) -> List[SymState]:
         child = self._fork(state, "subshell")
+        # break/continue cannot cross the process boundary
+        child.loop_control = None
+        saved_depth = self.loop_depth
+        self.loop_depth = 0
+        try:
+            subs = self.eval(node.body, child)
+        finally:
+            self.loop_depth = saved_depth
         results = []
-        for sub in self.eval(node.body, child):
+        for sub in subs:
             sub.env = dict(state.env)
             sub.params = list(state.params)
             sub.functions = dict(state.functions)
@@ -862,6 +947,7 @@ class Engine:
             sub.halted = state.halted
             sub.bg_jobs = state.bg_jobs
             sub.bg_launched = state.bg_launched
+            sub.loop_control = state.loop_control
             results.append(sub)
         return self._apply_redirect_list(node.redirects, results, owner=node)
 
@@ -924,31 +1010,80 @@ class Engine:
                 results.append(st)
         return self._apply_redirect_list(node.redirects, results, owner=node)
 
+    def _route_loop_results(
+        self,
+        states: List[SymState],
+        next_iteration: List[SymState],
+        exits: List[SymState],
+    ) -> List[SymState]:
+        """Consume one level of pending break/continue at a loop boundary.
+
+        States carrying no signal are returned (plain fall-through);
+        ``continue`` states go to ``next_iteration``; ``break`` states go
+        to ``exits``; multi-level signals decrement and keep propagating
+        outward via ``exits``.
+        """
+        plain: List[SymState] = []
+        for st in states:
+            control = st.loop_control
+            if control is None:
+                plain.append(st)
+                continue
+            kind, level = control
+            if level > 1:
+                st.loop_control = (kind, level - 1)
+                exits.append(st)
+            elif kind == "break":
+                st.loop_control = None
+                exits.append(st)
+            else:  # continue: back to the condition / next value
+                st.loop_control = None
+                next_iteration.append(st)
+        return plain
+
     def eval_while(self, node: While, state: SymState) -> List[SymState]:
         exits: List[SymState] = []
         current = [state]
-        for iteration in range(self.max_loop + 1):
-            next_current: List[SymState] = []
-            for st in current:
-                cond_states = self._eval_condition(node.cond, st)
-                success, failure = self._fork_on_status(cond_states, "loop-condition")
-                if node.until:
-                    success, failure = failure, success
-                exits.extend(failure)
-                if iteration < self.max_loop:
-                    for s in success:
-                        if s.halted:
+        self.loop_depth += 1
+        try:
+            for iteration in range(self.max_loop + 1):
+                next_current: List[SymState] = []
+                for st in current:
+                    cond_states = self._route_loop_results(
+                        self._eval_condition(node.cond, st), next_current, exits
+                    )
+                    success, failure = self._fork_on_status(
+                        cond_states, "loop-condition"
+                    )
+                    if node.until:
+                        success, failure = failure, success
+                    exits.extend(failure)
+                    if iteration < self.max_loop:
+                        for s in success:
+                            if s.halted:
+                                exits.append(s)
+                            else:
+                                next_current.extend(
+                                    self._route_loop_results(
+                                        self.eval(node.body, s),
+                                        next_current,
+                                        exits,
+                                    )
+                                )
+                    else:
+                        # iteration budget exhausted: assume the loop ends
+                        for s in success:
+                            s.note("loop truncated at iteration bound")
                             exits.append(s)
-                        else:
-                            next_current.extend(self.eval(node.body, s))
-                else:
-                    # iteration budget exhausted: assume the loop ends
-                    for s in success:
-                        s.note("loop truncated at iteration bound")
-                        exits.append(s)
-            current = self._prune(next_current)
-            if not current:
-                break
+                current = self._prune(next_current)
+                if not current:
+                    break
+            for st in current:
+                # a `continue` raised on the final budgeted iteration
+                st.note("loop truncated at iteration bound")
+                exits.append(st)
+        finally:
+            self.loop_depth -= 1
         for st in exits:
             if st.status is None:
                 st.status = 0
@@ -960,23 +1095,35 @@ class Engine:
         else:
             values_per_state = expand_words(node.words, state, self)
         results: List[SymState] = []
-        for st, values in values_per_state:
-            states = [st]
-            if not values:
-                for s in states:
-                    s.status = 0
+        self.loop_depth += 1
+        try:
+            for st, values in values_per_state:
+                states = [st]
+                exited: List[SymState] = []
+                if not values:
+                    for s in states:
+                        s.status = 0
+                    results.extend(states)
+                    continue
+                for value in values[: self.max_loop + 1]:
+                    next_states: List[SymState] = []
+                    for s in states:
+                        if s.halted:
+                            next_states.append(s)
+                            continue
+                        s.set_var(node.var, value)
+                        next_states.extend(
+                            self._route_loop_results(
+                                self.eval(node.body, s), next_states, exited
+                            )
+                        )
+                    states = self._prune(next_states)
+                    if not states:
+                        break
                 results.extend(states)
-                continue
-            for value in values[: self.max_loop + 1]:
-                next_states = []
-                for s in states:
-                    if s.halted:
-                        next_states.append(s)
-                        continue
-                    s.set_var(node.var, value)
-                    next_states.extend(self.eval(node.body, s))
-                states = self._prune(next_states)
-            results.extend(states)
+                results.extend(exited)
+        finally:
+            self.loop_depth -= 1
         return self._apply_redirect_list(node.redirects, results, owner=node)
 
     def eval_case(self, node: Case, state: SymState) -> List[SymState]:
@@ -1053,6 +1200,7 @@ class Engine:
                     len(st.stdout) if st.capturing else 0,
                     st.store.identity_key(),
                     st.bg_jobs,
+                    st.loop_control,
                 )
                 if key in merged:
                     self.paths_merged += 1

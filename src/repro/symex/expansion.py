@@ -459,8 +459,15 @@ def expand_command_sub(
     child.stdout = []
     child.halted = False
     child.capturing = True
+    child.loop_control = None
+    saved_depth = engine.loop_depth
+    engine.loop_depth = 0
+    try:
+        sub_states = engine.eval(part.command, child)
+    finally:
+        engine.loop_depth = saved_depth
     results: List[Expanded] = []
-    for sub_state in engine.eval(part.command, child):
+    for sub_state in sub_states:
         value, exact = sub_state.stdout_value()
         if exact:
             value = _strip_trailing_newlines(value)
@@ -475,6 +482,7 @@ def expand_command_sub(
         continuation.stdout = list(state.stdout)
         continuation.halted = state.halted
         continuation.capturing = state.capturing
+        continuation.loop_control = state.loop_control
         # $? becomes the substitution's exit status; the engine's caller
         # decides whether to keep it (assignments do).
         results.append((continuation, value))

@@ -83,6 +83,7 @@ class SymState:
         "options",
         "bg_jobs",
         "bg_launched",
+        "loop_control",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class SymState:
         options: "Optional[set]" = None,
         bg_jobs: Tuple[BgJob, ...] = (),
         bg_launched: int = 0,
+        loop_control: Optional[Tuple[str, int]] = None,
     ):
         self.env = dict(env or {})
         self.params = list(params or [])
@@ -127,6 +129,10 @@ class SymState:
         self.bg_jobs = tuple(bg_jobs)
         #: how many background jobs this path has launched (job numbering)
         self.bg_launched = bg_launched
+        #: a pending ``break``/``continue``: ("break"|"continue", levels).
+        #: While set, the engine skips evaluation until the enclosing
+        #: loop(s) consume it, one level per loop boundary.
+        self.loop_control = loop_control
 
     # -- forking -----------------------------------------------------------
 
@@ -149,6 +155,7 @@ class SymState:
             options=self.options,
             bg_jobs=self.bg_jobs,
             bg_launched=self.bg_launched,
+            loop_control=self.loop_control,
         )
         if note:
             child.notes.append(note)

@@ -181,3 +181,53 @@ class TestAnalyzerIntegration:
     def test_clean_script_unaffected(self):
         report = analyze("mkdir -p /srv/app\n")
         assert report.races() == []
+
+
+class TestRedirectClobbersInput:
+    def test_grep_redirect_to_own_input(self):
+        # the acceptance case: `>` truncates the input before grep reads it
+        report = analyze("grep foo file > file")
+        [diag] = report.by_code("redirect-clobbers-input")
+        assert diag.always
+        assert diag.severity.value == "warning"
+
+    def test_both_locations_reported(self):
+        report = analyze("grep foo file > file")
+        [diag] = report.by_code("redirect-clobbers-input")
+        # main location: the redirect target; related: the reading command
+        assert diag.pos is not None and diag.pos.col == 17
+        assert diag.related and "grep" in diag.related[0]
+        assert "1:1" in diag.related[0]
+
+    def test_append_does_not_clobber(self):
+        # `>>` opens without truncating: reading-then-appending is fine
+        report = analyze("grep foo file >> file")
+        assert not report.has("redirect-clobbers-input")
+
+    def test_distinct_target_is_fine(self):
+        report = analyze("grep foo file > other")
+        assert not report.has("redirect-clobbers-input")
+
+    def test_input_redirect_then_output_redirect(self):
+        # both orderings of `< file > file` are caught
+        report = analyze("cat < file > file")
+        assert report.has("redirect-clobbers-input")
+        report = analyze("cat > file < file")
+        assert report.has("redirect-clobbers-input")
+
+    def test_unrelated_commands_not_conflated(self):
+        # a different command reading the file earlier is not a clobber
+        # by *this* command's redirect (that is the race checkers' job)
+        report = analyze("grep foo file\ncmd > file\n", races=False)
+        assert not report.has("redirect-clobbers-input")
+
+    def test_sort_in_place_antipattern(self):
+        report = analyze("sort file > file")
+        assert report.has("redirect-clobbers-input")
+
+    def test_round_trips_through_serialization(self):
+        from repro.analysis.report import Report
+
+        report = analyze("grep foo file > file")
+        restored = Report.from_dict(report.to_dict())
+        assert restored.render() == report.render()

@@ -1,0 +1,66 @@
+"""mktemp / trap specifications (tempfile-lifecycle idioms)."""
+
+from repro.analysis import analyze
+from repro.specs import default_registry
+
+
+class TestSpecsRegistered:
+    def test_mktemp_registered(self):
+        spec = default_registry().get("mktemp")
+        assert spec is not None
+        assert spec.stdout is not None
+
+    def test_trap_registered(self):
+        spec = default_registry().get("trap")
+        assert spec is not None
+        # registration is effect-free on every clause
+        assert all(not clause.effects for clause in spec.clauses)
+
+
+class TestMktempIdiom:
+    def test_rm_of_mktemp_output_is_safe(self):
+        # the original bug: mktemp's output was fully unknown, so
+        # `rm "$(mktemp)"` escalated to dangerous-deletion with witness /
+        report = analyze('tmp=$(mktemp); rm "$tmp"')
+        assert not report.has("dangerous-deletion")
+        assert not report.has("unknown-command")
+
+    def test_multiline_form(self):
+        report = analyze('tmp=$(mktemp)\nrm -f "$tmp"\n')
+        assert not report.has("dangerous-deletion")
+
+    def test_mktemp_d_directory_cleanup(self):
+        report = analyze('dir=$(mktemp -d)\nrm -rf "$dir"\n')
+        assert not report.has("dangerous-deletion")
+
+    def test_output_language_is_tmp_rooted(self):
+        spec = default_registry().get("mktemp")
+        line = spec.stdout.line
+        assert line.matches("/tmp/tmp.AbC123")
+        assert not line.matches("/")
+        assert not line.matches("/etc/passwd")
+
+    def test_unconstrained_rm_still_flagged(self):
+        # the fix must not weaken the checker itself
+        report = analyze("rm -rf /")
+        assert report.has("dangerous-deletion")
+
+
+class TestTrapIdiom:
+    def test_trap_not_unknown(self):
+        report = analyze('trap "echo done" EXIT')
+        assert not report.has("unknown-command")
+
+    def test_trap_cleanup_idiom(self):
+        report = analyze(
+            'tmp=$(mktemp)\ntrap \'rm -f "$tmp"\' EXIT\necho using "$tmp"\n'
+        )
+        assert not report.has("unknown-command")
+        assert not report.has("dangerous-deletion")
+
+    def test_trap_succeeds(self):
+        from repro.symex import Engine
+
+        result = Engine(checkers=[]).run_script('trap "true" INT TERM')
+        assert result.states
+        assert all(st.status == 0 for st in result.states)

@@ -1,0 +1,158 @@
+"""`break` / `continue` builtins and their loop-control semantics."""
+
+from repro.analysis import analyze
+from repro.symex import Engine
+
+
+def run(source, **kwargs):
+    engine = Engine(checkers=[], **kwargs)
+    return engine.run_script(source)
+
+
+class TestBreak:
+    def test_break_is_a_builtin(self):
+        # the original bug: `break` reported info[unknown-command]
+        report = analyze("until false; do break; done")
+        assert not report.has("unknown-command")
+
+    def test_continue_is_a_builtin(self):
+        report = analyze("while true; do continue; done")
+        assert not report.has("unknown-command")
+
+    def test_break_exits_infinite_loop_cleanly(self):
+        result = run("while true; do break; done")
+        assert result.states
+        for state in result.states:
+            assert state.status == 0
+            assert state.loop_control is None
+            # no "loop truncated" note: the exit was explicit
+            assert not any("truncated" in n for n in state.notes)
+
+    def test_break_skips_rest_of_body(self):
+        # mkdir after break is never reached: no CREATE on any trace
+        from repro.fs import FsOp
+
+        result = run("while true; do break; mkdir /opt/d; done")
+        assert result.states
+        for state in result.states:
+            assert not any(e.op is FsOp.CREATE for e in state.fs.log)
+
+    def test_code_after_loop_runs(self):
+        result = run("while true; do break; done\nx=after")
+        assert result.states
+        for state in result.states:
+            assert state.env["x"].concrete_value() == "after"
+
+    def test_break_in_for_loop(self):
+        # break on the first value: the loop variable never advances
+        result = run("for i in a b c; do break; done")
+        assert result.states
+        for state in result.states:
+            assert state.env["i"].concrete_value() == "a"
+            assert state.loop_control is None
+
+    def test_break_in_until_loop(self):
+        result = run("until false; do break; done")
+        assert result.states
+        for state in result.states:
+            assert state.status == 0
+
+
+class TestContinue:
+    def test_continue_skips_rest_of_body(self):
+        from repro.fs import FsOp
+
+        result = run("for i in a b; do continue; mkdir /opt/d; done")
+        assert result.states
+        for state in result.states:
+            assert not any(e.op is FsOp.CREATE for e in state.fs.log)
+
+    def test_continue_advances_for_values(self):
+        result = run("for i in a b c; do continue; done")
+        assert result.states
+        # every value was visited; the variable holds the last one
+        for state in result.states:
+            assert state.env["i"].concrete_value() == "c"
+            assert state.loop_control is None
+
+
+class TestLevels:
+    def test_break_two_exits_both_loops(self):
+        result = run(
+            "while true; do while true; do break 2; done; done\nx=out"
+        )
+        assert result.states
+        for state in result.states:
+            assert state.env["x"].concrete_value() == "out"
+            assert state.loop_control is None
+
+    def test_break_level_clamped_to_depth(self):
+        # bash clamps N to the number of enclosing loops
+        result = run("while true; do break 5; done\nx=out")
+        assert result.states
+        for state in result.states:
+            assert state.env["x"].concrete_value() == "out"
+            assert state.loop_control is None
+
+    def test_continue_two(self):
+        from repro.fs import FsOp
+
+        result = run(
+            "for i in a b; do for j in x y; do continue 2; "
+            "mkdir /opt/d; done; done"
+        )
+        assert result.states
+        for state in result.states:
+            assert not any(e.op is FsOp.CREATE for e in state.fs.log)
+            assert state.loop_control is None
+
+
+class TestOutsideLoop:
+    def test_break_outside_loop_reports_info(self):
+        report = analyze("break")
+        assert report.has("loop-control-outside-loop")
+        assert not report.has("unknown-command")
+
+    def test_continue_outside_loop_reports_info(self):
+        report = analyze("continue")
+        assert report.has("loop-control-outside-loop")
+
+    def test_outside_loop_is_not_fatal(self):
+        result = run("break\nx=alive")
+        assert result.states
+        for state in result.states:
+            assert state.env["x"].concrete_value() == "alive"
+
+
+class TestBoundaries:
+    def test_subshell_confines_break(self):
+        # a subshell cannot break its parent's loop; `break` inside it is
+        # outside any loop of its own
+        report = analyze("while true; do (break); done")
+        assert report.has("loop-control-outside-loop")
+
+    def test_break_in_condition(self):
+        result = run("while break; do x=body; done\ny=after")
+        assert result.states
+        for state in result.states:
+            assert "x" not in state.env
+            assert state.env["y"].concrete_value() == "after"
+
+    def test_function_propagates_break(self):
+        # bash: break inside a function breaks the caller's loop
+        result = run("f() { break; }\nwhile true; do f; done\nx=out")
+        assert result.states
+        for state in result.states:
+            assert state.env["x"].concrete_value() == "out"
+
+    def test_command_substitution_confines_break(self):
+        report = analyze("while true; do x=$(break); break; done")
+        assert report.has("loop-control-outside-loop")
+
+    def test_no_state_leak_after_loop(self):
+        # loop_control never survives past its loop
+        result = run("for i in a b; do break; done; for j in c d; do :; done")
+        assert result.states
+        for state in result.states:
+            assert state.loop_control is None
+            assert state.env["j"].concrete_value() == "d"
