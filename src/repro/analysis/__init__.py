@@ -11,8 +11,10 @@ from .annotations import (
 from .batch import BatchConfig, BatchResult, FileResult, discover, run_batch
 from .cache import ResultCache, cache_key, default_cache_dir
 from .report import Report
+from .resilience import AnalysisBudgetExceeded, ResourceBudget
 
 __all__ = ["analyze", "Report", "parse_annotations", "AnnotationSet", "AnnotationError",
            "load_annotation_file", "merge_annotations",
            "BatchConfig", "BatchResult", "FileResult", "discover", "run_batch",
-           "ResultCache", "cache_key", "default_cache_dir"]
+           "ResultCache", "cache_key", "default_cache_dir",
+           "ResourceBudget", "AnalysisBudgetExceeded"]

@@ -1,20 +1,37 @@
 """The end-to-end analyzer: parse → annotations → symbolic execution →
-checkers → report.  The public entry point of the library."""
+checkers → report.  The public entry point of the library.
+
+Resilience invariant (enforced by the fault-injection suite under
+``tests/robustness/``): :func:`analyze` **never raises** and always
+returns a renderable :class:`Report`.  Resource-budget exhaustion
+(deadline, state cap, DFA cap, nesting depth) becomes a *partial*
+report carrying an INFO ``analysis-degraded`` diagnostic; any other
+internal crash becomes an ``internal-error`` diagnostic with an
+exception digest.  Degraded reports are never cached.
+"""
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
 from ..checkers import Checker, default_checkers
-from ..diag import Diagnostic, dedupe
+from ..diag import Diagnostic, Severity, dedupe
 from ..lint import lint as run_lint
 from ..obs import get_recorder
 from ..shell import parse as parse_shell
 from ..shell.lexer import ShellSyntaxError
+from ..shell.parser import ParseDepthExceeded
 from ..specs import SpecRegistry
 from ..symex import Engine
 from .annotations import AnnotationSet, load_annotation_file, merge_annotations, parse_annotations
 from .report import Report
+from .resilience import (
+    AnalysisBudgetExceeded,
+    ResourceBudget,
+    degraded_diagnostic,
+    internal_error_diagnostic,
+    use_budget,
+)
 
 
 def analyze(
@@ -30,6 +47,7 @@ def analyze(
     max_loop: int = 2,
     prune: bool = True,
     races: bool = True,
+    budget: Optional[ResourceBudget] = None,
 ) -> Report:
     """Statically analyze a shell script.
 
@@ -41,8 +59,62 @@ def analyze(
       its findings (tagged ``source="lint"``).
     - ``races``: run the effect-graph hazard analysis (file-system races
       over ``&``/``wait``); ignored when ``checkers`` is given explicitly.
+    - ``budget``: resource limits for this analysis (wall-clock deadline,
+      symbolic-state cap, DFA cap, nesting depth); exhaustion degrades
+      the report instead of raising.
+
+    Never raises: crashes and budget exhaustion degrade to diagnostics.
     """
     recorder = get_recorder()
+    try:
+        return _analyze(
+            source,
+            n_args=n_args,
+            platform_targets=platform_targets,
+            registry=registry,
+            checkers=checkers,
+            include_lint=include_lint,
+            use_annotations=use_annotations,
+            annotation_files=annotation_files,
+            max_fork=max_fork,
+            max_loop=max_loop,
+            prune=prune,
+            races=races,
+            budget=budget,
+        )
+    except AnalysisBudgetExceeded as exc:
+        # a budget trip outside the per-phase guards (defensive belt)
+        recorder.count("analyze.degraded")
+        return Report(
+            source=source,
+            diagnostics=[degraded_diagnostic(exc, "no partial results available")],
+        )
+    except Exception as exc:  # noqa: BLE001 — the crash-isolation boundary
+        recorder.count("analyze.internal_errors")
+        return Report(
+            source=source,
+            diagnostics=[internal_error_diagnostic("analysis", exc)],
+        )
+
+
+def _analyze(
+    source: str,
+    n_args: int,
+    platform_targets: Optional[Sequence[str]],
+    registry: Optional[SpecRegistry],
+    checkers: Optional[List[Checker]],
+    include_lint: bool,
+    use_annotations: bool,
+    annotation_files: Optional[Sequence[str]],
+    max_fork: int,
+    max_loop: int,
+    prune: bool,
+    races: bool,
+    budget: Optional[ResourceBudget],
+) -> Report:
+    recorder = get_recorder()
+    if budget is not None:
+        budget.start()  # fresh deadline + state meter per file
 
     with recorder.span("analyze.parse"):
         annotations = parse_annotations(source) if use_annotations else AnnotationSet()
@@ -54,10 +126,18 @@ def analyze(
         if annotations.platforms:
             platform_targets = annotations.platforms
         try:
-            ast = parse_shell(source)
+            max_depth = budget.max_depth if budget is not None else None
+            ast = parse_shell(source, max_depth=max_depth)
+        except ParseDepthExceeded as exc:
+            recorder.count("analyze.degraded")
+            trip = AnalysisBudgetExceeded("parse", "depth", str(exc))
+            return Report(
+                source=source,
+                diagnostics=[
+                    degraded_diagnostic(trip, "nothing analyzed"),
+                ],
+            )
         except ShellSyntaxError as exc:
-            from ..diag import Severity
-
             recorder.count("analyze.syntax_errors")
             return Report(
                 source=source,
@@ -83,21 +163,47 @@ def analyze(
         prune=prune,
         signature_overrides=annotations.signatures,
         initial_env=annotations.variables,
+        budget=budget,
     )
 
-    with recorder.span("analyze.symex"):
-        result = engine.run(ast, n_args=n_args)
+    diagnostics: List[Diagnostic] = []
+    paths_explored = paths_merged = states = truncations = 0
+    try:
+        with recorder.span("analyze.symex"), use_budget(budget):
+            result = engine.run(ast, n_args=n_args)
+    except AnalysisBudgetExceeded as exc:
+        recorder.count("analyze.degraded")
+        diagnostics.append(
+            degraded_diagnostic(
+                exc,
+                f"{engine.paths_explored} path step(s) analyzed before the limit",
+            )
+        )
+        paths_explored = engine.paths_explored
+        paths_merged = engine.paths_merged
+        truncations = engine.truncations
+    else:
+        diagnostics.extend(result.diagnostics)
+        paths_explored = result.paths_explored
+        paths_merged = result.paths_merged
+        states = len(result.states)
+        truncations = result.truncations
 
-    diagnostics = list(result.diagnostics)
     if include_lint:
+        # the syntactic baseline is independent of the semantic phases:
+        # run it even for degraded analyses, and isolate its crashes
         with recorder.span("analyze.lint"):
-            diagnostics.extend(run_lint(source))
+            try:
+                diagnostics.extend(run_lint(source))
+            except Exception as exc:  # noqa: BLE001
+                recorder.count("analyze.internal_errors")
+                diagnostics.append(internal_error_diagnostic("lint", exc))
 
     return Report(
         source=source,
         diagnostics=dedupe(diagnostics),
-        paths_explored=result.paths_explored,
-        paths_merged=result.paths_merged,
-        states=len(result.states),
-        truncations=result.truncations,
+        paths_explored=paths_explored,
+        paths_merged=paths_merged,
+        states=states,
+        truncations=truncations,
     )

@@ -7,8 +7,19 @@ fans the work out to a process pool, and consults the persistent
 :mod:`~repro.analysis.cache` so unchanged files cost one hash + one
 read on re-analysis instead of a symbolic execution.
 
+Crash containment: each file is submitted to the pool as its own
+future, so one file killing its worker (OOM, segfault in an extension,
+``os._exit``) cannot take the rest of the batch with it.  A file whose
+worker died is retried once inline under a *tightened*
+:class:`~repro.analysis.resilience.ResourceBudget`; if the retry also
+fails, the file is quarantined — it still gets a renderable report
+carrying an ``analysis-quarantined`` diagnostic.  Degraded and
+quarantined reports are never written to the result cache, so a later
+run re-analyzes those files from scratch.
+
 Counters (visible via ``--stats``): ``batch.files``,
-``batch.cache.hit`` / ``batch.cache.miss`` / ``batch.cache.store``;
+``batch.cache.hit`` / ``batch.cache.miss`` / ``batch.cache.store``,
+``batch.worker_failures`` / ``batch.retries`` / ``batch.quarantined``;
 per-file analysis seconds feed the ``batch.file_seconds`` histogram so
 the stats table shows aggregate CPU time next to wall time (their ratio
 is the realized parallel speedup).
@@ -20,13 +31,14 @@ import glob as glob_mod
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..diag import Diagnostic, Severity
 from ..obs import get_recorder
 from .analyzer import analyze
 from .cache import ResultCache, cache_key
 from .report import Report
+from .resilience import ResourceBudget, quarantine_diagnostic
 
 #: extensions treated as shell scripts when scanning a directory
 SCRIPT_EXTENSIONS = (".sh", ".bash")
@@ -48,6 +60,13 @@ class BatchConfig:
     max_loop: int = 2
     prune: bool = True
     races: bool = True
+    #: resource limits (``--timeout`` / ``--max-states``).  Deliberately
+    #: EXCLUDED from :meth:`fingerprint`: a completed report does not
+    #: depend on how generous the budget was, and budget-exhausted
+    #: (degraded) reports are never cached — so results computed under
+    #: one budget are safely reusable under any other.
+    timeout: Optional[float] = None
+    max_states: Optional[int] = None
 
     def fingerprint(self) -> str:
         return (
@@ -67,6 +86,12 @@ class BatchConfig:
             "races": self.races,
         }
 
+    def budget(self) -> Optional[ResourceBudget]:
+        """The per-file budget this config implies, or None."""
+        if self.timeout is None and self.max_states is None:
+            return None
+        return ResourceBudget(deadline=self.timeout, max_states=self.max_states)
+
 
 @dataclass
 class FileResult:
@@ -76,6 +101,9 @@ class FileResult:
     report: Report
     cached: bool = False
     seconds: float = 0.0
+    #: the worker died and the bounded inline retry failed too; the
+    #: report is a stub carrying an ``analysis-quarantined`` diagnostic
+    quarantined: bool = False
 
 
 @dataclass
@@ -90,12 +118,17 @@ class BatchResult:
     def unsafe(self) -> bool:
         return any(r.report.unsafe for r in self.results)
 
+    @property
+    def degraded(self) -> bool:
+        """At least one file's analysis did not fully complete."""
+        return any(r.quarantined or r.report.degraded for r in self.results)
+
     def render(self, min_severity: Severity = Severity.INFO) -> str:
         """Aggregated multi-file output: per-file headers plus a corpus
         summary line.  Deliberately free of cache/timing details so a
         fully-warm rerun is byte-identical to the cold run."""
         blocks = []
-        errors = warnings = infos = flagged = 0
+        errors = warnings = infos = flagged = degraded = 0
         for result in self.results:
             report = result.report
             errors += len(report.errors())
@@ -103,11 +136,15 @@ class BatchResult:
             infos += len(report.infos())
             if not report.ok:
                 flagged += 1
+            if result.quarantined or report.degraded:
+                degraded += 1
             blocks.append(f"== {result.path} ==\n{report.render(min_severity)}")
         summary = (
             f"{len(self.results)} file(s) analyzed: {errors} error(s), "
             f"{warnings} warning(s), {infos} note(s); {flagged} file(s) flagged"
         )
+        if degraded:
+            summary += f"; {degraded} file(s) degraded"
         blocks.append(summary)
         return "\n\n".join(blocks)
 
@@ -163,7 +200,7 @@ def _read_error_report(source: str, message: str) -> Report:
 def analyze_source(source: str, config: BatchConfig) -> dict:
     """Analyze one script and return its serialized report (the worker
     body; module-level so it pickles across the pool boundary)."""
-    return analyze(source, **config.analyze_kwargs()).to_dict()
+    return analyze(source, budget=config.budget(), **config.analyze_kwargs()).to_dict()
 
 
 def _pool_worker(item: Tuple[str, str, BatchConfig]) -> Tuple[str, dict, float]:
@@ -171,6 +208,14 @@ def _pool_worker(item: Tuple[str, str, BatchConfig]) -> Tuple[str, dict, float]:
     started = time.perf_counter()
     data = analyze_source(source, config)
     return path, data, time.perf_counter() - started
+
+
+def _make_pool(jobs: int):
+    """Pool factory (module-level so the robustness tests can substitute
+    a pool whose workers die)."""
+    import concurrent.futures as futures
+
+    return futures.ProcessPoolExecutor(max_workers=jobs)
 
 
 def run_batch(
@@ -226,17 +271,22 @@ def run_batch(
             slots.append(None)
             pending.append((len(slots) - 1, path, source, key))
 
-        for (slot, path, _, key), (data, seconds) in zip(
+        for (slot, path, _, key), (data, seconds, quarantined) in zip(
             pending, _drain(pending, config, jobs, rec)
         ):
-            if cache is not None and cache.put(key, data):
+            report = Report.from_dict(data)
+            # incomplete results must not poison the cache: a cold rerun
+            # has to re-analyze them from scratch
+            cacheable = not quarantined and not report.degraded
+            if cache is not None and cacheable and cache.put(key, data):
                 rec.count("batch.cache.store")
             rec.observe("batch.file_seconds", seconds)
             slots[slot] = FileResult(
                 path=path,
-                report=Report.from_dict(data),
+                report=report,
                 cached=False,
                 seconds=seconds,
+                quarantined=quarantined,
             )
 
     batch.results = [r for r in slots if r is not None]
@@ -253,35 +303,86 @@ def _drain(
     config: BatchConfig,
     jobs: int,
     rec,
-):
-    """Yield ``(report_dict, seconds)`` for every pending file in input
-    order, using a process pool when it pays off and falling back to
-    inline analysis when pools are unavailable (restricted sandboxes)."""
+) -> Iterator[Tuple[dict, float, bool]]:
+    """Yield ``(report_dict, seconds, quarantined)`` for every pending
+    file in input order, using a process pool when it pays off and
+    falling back to inline analysis when pools are unavailable
+    (restricted sandboxes)."""
     if not pending:
         return
     if jobs > 1 and len(pending) > 1:
         try:
-            results = _drain_pool(pending, config, jobs)
+            results = _drain_pool(pending, config, jobs, rec)
         except (OSError, ImportError, RuntimeError):
             # no multiprocessing in this environment (sandboxed /dev/shm,
             # missing semaphores, broken pool): degrade to inline
             rec.count("batch.pool_unavailable")
         else:
-            for _, data, seconds in results:
-                yield data, seconds
+            yield from results
             return
-    for _, _, source, _ in pending:
+    for _, path, source, _ in pending:
         started = time.perf_counter()
         with rec.span("batch.file"):
-            data = analyze_source(source, config)
-        yield data, time.perf_counter() - started
+            try:
+                data = analyze_source(source, config)
+            except Exception as exc:  # noqa: BLE001 — per-file isolation
+                rec.count("batch.worker_failures")
+                yield _retry_inline(path, source, config, rec, exc)
+                continue
+        yield data, time.perf_counter() - started, False
 
 
 def _drain_pool(
-    pending: List[Tuple[int, str, str, str]], config: BatchConfig, jobs: int
-) -> List[Tuple[str, dict, float]]:
-    import concurrent.futures as futures
+    pending: List[Tuple[int, str, str, str]],
+    config: BatchConfig,
+    jobs: int,
+    rec,
+) -> List[Tuple[dict, float, bool]]:
+    """One future per file, so a dying worker only loses that file.
 
-    work = [(path, source, config) for _, path, source, _ in pending]
-    with futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_pool_worker, work))
+    When a worker is killed the pool breaks and every outstanding future
+    raises; each affected file is then retried inline (bounded by a
+    tightened budget) rather than lost.  Pool-*creation* errors
+    propagate to :func:`_drain`'s inline fallback.
+    """
+    results: List[Tuple[dict, float, bool]] = []
+    with _make_pool(jobs) as pool:
+        futures = [
+            pool.submit(_pool_worker, (path, source, config))
+            for _, path, source, _ in pending
+        ]
+        for future, (_, path, source, _) in zip(futures, pending):
+            try:
+                _, data, seconds = future.result()
+            except Exception as exc:  # noqa: BLE001 — BrokenProcessPool et al.
+                rec.count("batch.worker_failures")
+                results.append(_retry_inline(path, source, config, rec, exc))
+            else:
+                results.append((data, seconds, False))
+    return results
+
+
+def _retry_inline(
+    path: str,
+    source: str,
+    config: BatchConfig,
+    rec,
+    cause: BaseException,
+) -> Tuple[dict, float, bool]:
+    """Second (and last) chance for a file whose first attempt crashed:
+    re-analyze inline under a tightened budget; quarantine on failure."""
+    rec.count("batch.retries")
+    budget = config.budget() or ResourceBudget()
+    started = time.perf_counter()
+    try:
+        data = analyze(
+            source, budget=budget.tightened(), **config.analyze_kwargs()
+        ).to_dict()
+    except Exception as retry_exc:  # noqa: BLE001 — quarantine, don't abort
+        rec.count("batch.quarantined")
+        report = Report(
+            source=source,
+            diagnostics=[quarantine_diagnostic(cause, retry_exc)],
+        )
+        return report.to_dict(), time.perf_counter() - started, True
+    return data, time.perf_counter() - started, False

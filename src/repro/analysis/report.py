@@ -52,6 +52,18 @@ class Report:
         """At least one definite incorrectness."""
         return bool(self.errors())
 
+    #: diagnostic codes marking a result as incomplete
+    DEGRADED_CODES = ("analysis-degraded", "internal-error", "analysis-quarantined")
+
+    @property
+    def degraded(self) -> bool:
+        """The analysis did not fully complete: a resource budget ran
+        out, a component crashed and was isolated, or the file was
+        quarantined by the batch driver.  Degraded reports are still
+        renderable but are never written to the result cache (a later
+        run re-analyzes the file from scratch)."""
+        return any(d.code in self.DEGRADED_CODES for d in self.diagnostics)
+
     # -- serialization -------------------------------------------------------
 
     #: bump when the dict layout changes (also salted into cache keys)
@@ -104,5 +116,7 @@ class Report:
             summary += f" [{len(hazards)} interleaving hazard(s)]"
         if self.truncations:
             summary += f" [truncated {self.truncations}x]"
+        if self.degraded:
+            summary += " [degraded]"
         lines.append(summary)
         return "\n".join(lines)

@@ -7,8 +7,15 @@ from .platform import PlatformChecker
 from .streams import AlwaysFailsChecker, DeadCaseChecker, StreamTypeChecker
 
 
-def default_checkers(platform_targets=None, races=True):
-    """The standard catalog used by the analyzer."""
+def default_checkers(platform_targets=None, races=True, isolate=True):
+    """The standard catalog used by the analyzer.
+
+    With ``isolate`` (the default) every checker is wrapped in a
+    fault-isolation proxy: a crashing criterion yields an
+    ``internal-error`` diagnostic and is disabled for the rest of the
+    run instead of aborting the file (see
+    :mod:`repro.analysis.resilience`).
+    """
     checkers = [
         DangerousDeletionChecker(),
         StreamTypeChecker(),
@@ -24,6 +31,10 @@ def default_checkers(platform_targets=None, races=True):
         checkers.append(RaceChecker())
     if platform_targets:
         checkers.append(PlatformChecker(platform_targets))
+    if isolate:
+        from ..analysis.resilience import guard_checkers
+
+        checkers = guard_checkers(checkers)
     return checkers
 
 

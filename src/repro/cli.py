@@ -86,6 +86,9 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Ahead-of-time semantics-driven analysis of a shell script.",
+        epilog="exit status: 0 clean; 1 definite incorrectness found; "
+        "2 no scripts found; 3 completed, but some analysis was degraded "
+        "(budget exhausted, component crash, or quarantined file)",
     )
     parser.add_argument(
         "script",
@@ -132,6 +135,21 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
         help="skip the effect-graph hazard analysis",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-file wall-clock budget; on expiry the file gets a partial "
+        "report with an analysis-degraded note instead of hanging",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-file symbolic evaluation-step budget (degrades like --timeout)",
+    )
+    parser.add_argument(
         "--errors-only", action="store_true", help="show only definite errors"
     )
     _add_common_flags(parser)
@@ -148,7 +166,13 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
         return _analyze_batch(options, inputs, min_severity)
 
     from .analysis import analyze
+    from .analysis.resilience import ResourceBudget
 
+    budget = None
+    if options.timeout is not None or options.max_states is not None:
+        budget = ResourceBudget(
+            deadline=options.timeout, max_states=options.max_states
+        )
     with _observed("repro-analyze", options):
         report = analyze(
             _read_script(inputs[0]),
@@ -156,9 +180,12 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
             platform_targets=options.platforms,
             include_lint=options.lint,
             races=options.races,
+            budget=budget,
         )
     print(report.render(min_severity=min_severity))
-    return 1 if report.unsafe else 0
+    if report.unsafe:
+        return 1
+    return 3 if report.degraded else 0
 
 
 def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity) -> int:
@@ -169,6 +196,8 @@ def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity)
         platform_targets=tuple(options.platforms) if options.platforms else None,
         include_lint=options.lint,
         races=options.races,
+        timeout=options.timeout,
+        max_states=options.max_states,
     )
     cache = None if options.no_cache else ResultCache(options.cache_dir)
     with _observed("repro-analyze", options):
@@ -177,7 +206,9 @@ def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity)
         print("repro-analyze: no scripts found", file=sys.stderr)
         return 2
     print(batch.render(min_severity=min_severity))
-    return 1 if batch.unsafe else 0
+    if batch.unsafe:
+        return 1
+    return 3 if batch.degraded else 0
 
 
 # ---------------------------------------------------------------------------

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 import subprocess
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +41,10 @@ class ProbeTrace:
     after: Snapshot
     stdout: str = ""
     stderr: str = ""
+    #: the probed process hung past the prober's timeout (on both the
+    #: initial attempt and the backed-off retry) and was killed; the
+    #: trace reflects whatever the partial execution left behind
+    timed_out: bool = False
 
     @property
     def deleted(self) -> List[str]:
@@ -87,36 +93,79 @@ def _snapshot(root: str) -> Snapshot:
     return result
 
 
-class SubprocessProber:
-    """Probe by executing the real utility in a sandbox directory."""
+def _kill_process_group(proc: "subprocess.Popen") -> None:
+    """Kill the probed process and everything it spawned (it runs in its
+    own session, so the group id equals its pid)."""
+    try:
+        if hasattr(os, "killpg"):
+            os.killpg(proc.pid, signal.SIGKILL)
+        else:
+            proc.kill()
+    except (ProcessLookupError, PermissionError, OSError):
+        proc.kill()
 
-    def __init__(self, timeout: float = 5.0):
+
+class SubprocessProber:
+    """Probe by executing the real utility in a sandbox directory.
+
+    A probed binary that hangs (interactive prompt, network wait, fork
+    bomb) is killed along with its whole process group when ``timeout``
+    expires, then retried once after ``retry_backoff`` seconds in a
+    fresh sandbox with a doubled deadline.  A second hang yields a
+    :class:`ProbeTrace` with ``timed_out=True`` and exit code 124 (the
+    ``timeout(1)`` convention) instead of an exception, so one
+    pathological invocation cannot abort a mining run.
+    """
+
+    #: exit code reported for killed-on-timeout probes (timeout(1) convention)
+    TIMEOUT_EXIT = 124
+
+    def __init__(self, timeout: float = 5.0, retry_backoff: float = 0.5):
         self.timeout = timeout
+        self.retry_backoff = retry_backoff
 
     def available(self, name: str) -> bool:
         return shutil.which(name) is not None
 
     def probe(self, invocation: Invocation) -> ProbeTrace:
+        trace = self._attempt(invocation, self.timeout)
+        if trace.timed_out:
+            time.sleep(self.retry_backoff)
+            trace = self._attempt(invocation, self.timeout * 2)
+        return trace
+
+    def _attempt(self, invocation: Invocation, timeout: float) -> ProbeTrace:
         with tempfile.TemporaryDirectory(prefix="repro-probe-") as root:
             operands = _setup_environment(root, invocation.scenarios)
             before = _snapshot(root)
-            completed = subprocess.run(
+            proc = subprocess.Popen(
                 invocation.argv(operands),
                 cwd=root,
                 stdin=subprocess.DEVNULL,
                 stdout=subprocess.PIPE,
                 stderr=subprocess.PIPE,
-                timeout=self.timeout,
                 text=True,
+                start_new_session=True,
             )
+            timed_out = False
+            try:
+                stdout, stderr = proc.communicate(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                timed_out = True
+                _kill_process_group(proc)
+                try:
+                    stdout, stderr = proc.communicate(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    stdout, stderr = "", ""
             after = _snapshot(root)
             return ProbeTrace(
                 invocation=invocation,
-                exit_code=completed.returncode,
+                exit_code=self.TIMEOUT_EXIT if timed_out else proc.returncode,
                 before=before,
                 after=after,
-                stdout=completed.stdout,
-                stderr=completed.stderr,
+                stdout=stdout or "",
+                stderr=stderr or "",
+                timed_out=timed_out,
             )
 
 

@@ -171,7 +171,15 @@ class DFA:
 
 
 def determinise(nfa: NFA) -> DFA:
-    """Subset construction with alphabet compression."""
+    """Subset construction with alphabet compression.
+
+    Bounded like :func:`~repro.rlang.ops.product`: the subset frontier is
+    checked against the hard DFA cap and the active analysis budget as
+    it grows, so exponential blowups degrade instead of exhausting
+    memory.
+    """
+    from ..analysis.resilience import enforce_dfa_cap
+
     all_sets = [cs for edges in nfa.transitions.values() for cs, _ in edges]
     atoms = partition(all_sets)
     other_idx = len(atoms)
@@ -191,6 +199,8 @@ def determinise(nfa: NFA) -> DFA:
 
     pos = 0
     while pos < len(order):
+        if pos % 64 == 0:
+            enforce_dfa_cap(len(order), "rlang.determinise")
         subset = order[pos]
         if nfa.accept in subset:
             accepting.add(pos)
@@ -206,6 +216,7 @@ def determinise(nfa: NFA) -> DFA:
         delta.append(row)  # type: ignore[arg-type]
         pos += 1
 
+    enforce_dfa_cap(len(delta), "rlang.determinise")
     recorder = get_recorder()
     if recorder.enabled:
         recorder.count("rlang.determinise_calls")

@@ -28,8 +28,28 @@ def _atom_map(dfa: DFA, atoms: List[CharSet]) -> List[int]:
     return mapping
 
 
+#: Unconditional ceiling on product-construction size: pathological
+#: regex intersections cannot allocate unboundedly even outside a
+#: budgeted analysis.  Kept in lock-step with the recorded
+#: ``rlang.product_states`` histogram — any legitimate construction in
+#: this codebase is orders of magnitude smaller.
+PRODUCT_STATE_CAP = 100_000
+
+#: How often (in explored states) the growth checks sample the cap and
+#: the active :class:`~repro.analysis.resilience.ResourceBudget`.
+_CAP_STRIDE = 64
+
+
 def product(a: DFA, b: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
-    """Product DFA whose acceptance combines the operands' with ``accept``."""
+    """Product DFA whose acceptance combines the operands' with ``accept``.
+
+    Growth is bounded: the construction checks :data:`PRODUCT_STATE_CAP`
+    and the active analysis budget as it explores, raising
+    :class:`~repro.analysis.resilience.AnalysisBudgetExceeded` instead
+    of allocating without bound.
+    """
+    from ..analysis.resilience import enforce_dfa_cap
+
     atoms = _common_atoms(a, b)
     map_a = _atom_map(a, atoms) + [len(a.atoms)]
     map_b = _atom_map(b, atoms) + [len(b.atoms)]
@@ -42,6 +62,8 @@ def product(a: DFA, b: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
 
     pos = 0
     while pos < len(order):
+        if pos % _CAP_STRIDE == 0 or len(order) > PRODUCT_STATE_CAP:
+            enforce_dfa_cap(len(order), "rlang.product")
         sa, sb = order[pos]
         if accept(sa in a.accepting, sb in b.accepting):
             accepting.add(pos)
@@ -57,6 +79,9 @@ def product(a: DFA, b: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
         delta.append(row)
         pos += 1
 
+    # final check: a product that finished over-cap still trips, so a
+    # small per-analysis budget bounds every construction deterministically
+    enforce_dfa_cap(len(delta), "rlang.product")
     recorder = get_recorder()
     if recorder.enabled:
         recorder.count("rlang.product_calls")

@@ -29,11 +29,12 @@ from .ast import (
     walk,
 )
 from .lexer import Lexer, ShellSyntaxError, tokenize
-from .parser import Parser, parse
+from .parser import MAX_NESTING_DEPTH, ParseDepthExceeded, Parser, parse
 from .tokens import Position, Token, TokenKind
 
 __all__ = [
     "parse", "tokenize", "walk", "Parser", "Lexer", "ShellSyntaxError",
+    "ParseDepthExceeded", "MAX_NESTING_DEPTH",
     "Position", "Token", "TokenKind", "Command", "SimpleCommand", "Pipeline",
     "AndOr", "Sequence", "Background", "Subshell", "BraceGroup", "If",
     "ElifClause", "While", "For", "Case", "CaseItem", "FunctionDef",

@@ -35,12 +35,28 @@ from .ast import (
 from .lexer import ShellSyntaxError, tokenize
 from .tokens import REDIRECT_OPERATORS, RESERVED_WORDS, Position, Token, TokenKind
 
+#: Explicit nesting-depth ceiling (compound commands + command
+#: substitutions).  Each level costs ~10 interpreter frames across the
+#: parser and the symbolic engine, so this keeps pathological inputs
+#: like ``((((...))))`` well inside CPython's recursion limit and turns
+#: them into a catchable :class:`ParseDepthExceeded` instead of a
+#: :class:`RecursionError`.
+MAX_NESTING_DEPTH = 60
+
+
+class ParseDepthExceeded(ShellSyntaxError):
+    """Input nested deeper than the parser's explicit guard."""
+
 
 class Parser:
-    def __init__(self, source: str):
+    def __init__(self, source: str, max_depth: Optional[int] = None, depth: int = 0):
         self.source = source
         self.tokens = tokenize(source)
         self.idx = 0
+        self.max_depth = MAX_NESTING_DEPTH if max_depth is None else max_depth
+        #: current nesting depth; inherited by sub-parsers so command
+        #: substitutions count toward the same ceiling
+        self.depth = depth
 
     # -- token access -----------------------------------------------------
 
@@ -77,7 +93,14 @@ class Parser:
     # -- words -----------------------------------------------------------
 
     def make_word(self, token: Token) -> Word:
-        return words_mod.parse_word(token.text, parse, token.pos)
+        return words_mod.parse_word(token.text, self._parse_sub, token.pos)
+
+    def _parse_sub(self, source: str) -> Command:
+        """Parse a command substitution's body, inheriting the nesting
+        depth so ``$($($(...)))`` chains count toward the same ceiling."""
+        return Parser(
+            source, max_depth=self.max_depth, depth=self.depth
+        ).parse_program()
 
     # -- entry -------------------------------------------------------------
 
@@ -169,6 +192,18 @@ class Parser:
     # -- commands ---------------------------------------------------------------
 
     def parse_command(self) -> Command:
+        self.depth += 1
+        try:
+            if self.depth > self.max_depth:
+                raise ParseDepthExceeded(
+                    f"command nesting exceeds {self.max_depth} levels",
+                    self.peek().pos,
+                )
+            return self._parse_command()
+        finally:
+            self.depth -= 1
+
+    def _parse_command(self) -> Command:
         token = self.peek()
         if token.is_op("("):
             return self._with_redirects(self.parse_subshell())
@@ -253,7 +288,7 @@ class Parser:
             self.take()
             if assignment is not None:
                 name, value_raw = assignment
-                value = words_mod.parse_word(value_raw, parse, token.pos)
+                value = words_mod.parse_word(value_raw, self._parse_sub, token.pos)
                 cmd.assignments.append(Assignment(name, value, token.pos))
             else:
                 seen_word = True
@@ -395,6 +430,11 @@ def _pos_of(command: Command) -> Position:
     return getattr(command, "pos", Position())
 
 
-def parse(source: str) -> Command:
-    """Parse shell ``source`` into a command AST."""
-    return Parser(source).parse_program()
+def parse(source: str, max_depth: Optional[int] = None) -> Command:
+    """Parse shell ``source`` into a command AST.
+
+    ``max_depth`` bounds construct nesting (default
+    :data:`MAX_NESTING_DEPTH`); exceeding it raises
+    :class:`ParseDepthExceeded` rather than :class:`RecursionError`.
+    """
+    return Parser(source, max_depth=max_depth).parse_program()

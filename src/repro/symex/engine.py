@@ -96,6 +96,7 @@ class Engine:
         signature_overrides: Optional[Dict[str, "object"]] = None,
         initial_env: Optional[Dict[str, "object"]] = None,
         recorder: Optional[Recorder] = None,
+        budget: Optional["object"] = None,
     ):
         self.registry = registry if registry is not None else default_registry()
         self.checkers = checkers if checkers is not None else []
@@ -119,6 +120,11 @@ class Engine:
         #: explicit recorder, or None to pick up the active one per run
         self.recorder = recorder
         self._rec: Recorder = recorder if recorder is not None else get_recorder()
+        #: explicit ResourceBudget, or None to pick up the active one per
+        #: run (see repro.analysis.resilience); exhaustion raises
+        #: AnalysisBudgetExceeded out of run()
+        self.budget = budget
+        self._budget = budget
         #: per-command success feasibility, aggregated across every path
         #: reaching it: id(node) -> [node, feasible_count, visit_count]
         self._success_tracker: Dict[int, list] = {}
@@ -162,6 +168,12 @@ class Engine:
         self, ast: Command, state: Optional[SymState] = None, n_args: int = 0
     ) -> ExecResult:
         rec = self._rec = self.recorder if self.recorder is not None else get_recorder()
+        if self.budget is not None:
+            self._budget = self.budget
+        else:
+            from ..analysis.resilience import get_budget
+
+            self._budget = get_budget()
         self.paths_explored = 0
         self.paths_merged = 0
         self.truncations = 0
@@ -223,6 +235,10 @@ class Engine:
             # enclosing loop consumes it
             return [state]
         self.paths_explored += 1
+        if self._budget is not None:
+            # the hot resilience point: one eval step = one budget charge
+            # (trips on max_states, and on the deadline every few steps)
+            self._budget.charge_state()
         rec = self._rec
         rec.count("symex.states_explored")
         if rec.enabled:
@@ -1187,6 +1203,10 @@ class Engine:
     def _prune(self, states: List[SymState]) -> List[SymState]:
         if len(states) <= 1:
             return states
+        if self._budget is not None:
+            # merge points are where wide fan-outs concentrate: re-check
+            # the wall clock even between eval charges
+            self._budget.check_deadline("symex")
         if self.prune:
             merged: Dict[tuple, SymState] = {}
             order: List[SymState] = []

@@ -128,6 +128,79 @@ class TestResultCache:
         assert base.fingerprint() != BatchConfig(max_loop=3).fingerprint()
         assert base.fingerprint() != BatchConfig(include_lint=True).fingerprint()
 
+    def test_fingerprint_excludes_budget_options(self):
+        # completed reports are budget-independent, and degraded ones are
+        # never cached — so budget options must NOT invalidate entries
+        base = BatchConfig()
+        assert base.fingerprint() == BatchConfig(timeout=5.0).fingerprint()
+        assert base.fingerprint() == BatchConfig(max_states=100).fingerprint()
+
+
+class TestCacheCorruption:
+    """Every corruption class degrades to a miss — never an exception."""
+
+    def _primed(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = cache_key("echo hi", "cfg")
+        assert cache.put(key, analyze("echo hi").to_dict())
+        return cache, key
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        cache, key = self._primed(tmp_path)
+        with open(cache.path_for(key), "r+") as handle:
+            content = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(content[: len(content) // 2])
+        assert cache.get(key) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache, key = self._primed(tmp_path)
+        data = cache.get(key)
+        data["schema"] = Report.SCHEMA_VERSION + 1
+        with open(cache.path_for(key), "w") as handle:
+            json.dump(data, handle)
+        assert cache.get(key) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache, key = self._primed(tmp_path)
+        with open(cache.path_for(key), "w") as handle:
+            json.dump(["not", "a", "report"], handle)
+        assert cache.get(key) is None
+
+    def test_unwritable_root_put_returns_false(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(str(blocker))
+        key = cache_key("echo hi", "cfg")
+        assert cache.put(key, analyze("echo hi").to_dict()) is False
+        assert cache.get(key) is None
+
+    def test_corruption_counts_as_misses_in_batch(self, corpus, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_batch([str(corpus)], jobs=1, cache=cache)
+        for dirpath, _, filenames in os.walk(cache.root):
+            for name in filenames:
+                with open(os.path.join(dirpath, name), "w") as handle:
+                    handle.write("{truncated")
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            batch = run_batch([str(corpus)], jobs=1, cache=cache)
+        assert recorder.counter("batch.cache.miss") == 4
+        assert recorder.counter("batch.cache.hit") == 0
+        assert len(batch.results) == 4
+
+    def test_unwritable_root_counts_misses_and_completes(self, corpus, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = ResultCache(str(blocker))
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            batch = run_batch([str(corpus)], jobs=1, cache=cache)
+        assert recorder.counter("batch.cache.miss") == 4
+        assert recorder.counter("batch.cache.store") == 0
+        assert len(batch.results) == 4
+
 
 class TestRunBatch:
     def test_cold_run_analyzes_everything(self, corpus, tmp_path):
