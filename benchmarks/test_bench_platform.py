@@ -38,6 +38,8 @@ def test_platform_matrix():
 
 def test_platform_check_cost(benchmark):
     report = benchmark(
-        analyze, "sed -i s/a/b/ f\nreadlink -f /x\n", 0, ["linux", "macos"]
+        analyze,
+        "sed -i s/a/b/ f\nreadlink -f /x\n",
+        platform_targets=["linux", "macos"],
     )
     assert report.has("platform-flag")

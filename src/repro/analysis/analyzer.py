@@ -36,7 +36,8 @@ from .resilience import (
 
 def analyze(
     source: str,
-    n_args: int = 0,
+    n_args: Optional[int] = None,
+    args: Optional[Sequence[str]] = None,
     platform_targets: Optional[Sequence[str]] = None,
     registry: Optional[SpecRegistry] = None,
     checkers: Optional[List[Checker]] = None,
@@ -51,8 +52,12 @@ def analyze(
 ) -> Report:
     """Statically analyze a shell script.
 
-    - ``n_args``: how many positional arguments to model symbolically
-      (overridden by a ``# @args N`` annotation).
+    - ``n_args``: how many positional arguments to model symbolically;
+      ``None`` (the default) models argv as *unknown at entry* — an
+      unconstrained list with a symbolic ``$#`` (overridden by a
+      ``# @args N`` annotation).
+    - ``args``: concrete argument values (``repro-analyze --args a b``);
+      takes precedence over ``n_args``.
     - ``platform_targets``: deployment platforms for portability checks
       (overridden by ``# @platforms ...``).
     - ``include_lint``: additionally run the syntactic baseline and merge
@@ -70,6 +75,7 @@ def analyze(
         return _analyze(
             source,
             n_args=n_args,
+            args=args,
             platform_targets=platform_targets,
             registry=registry,
             checkers=checkers,
@@ -99,7 +105,8 @@ def analyze(
 
 def _analyze(
     source: str,
-    n_args: int,
+    n_args: Optional[int],
+    args: Optional[Sequence[str]],
     platform_targets: Optional[Sequence[str]],
     registry: Optional[SpecRegistry],
     checkers: Optional[List[Checker]],
@@ -170,7 +177,7 @@ def _analyze(
     paths_explored = paths_merged = states = truncations = 0
     try:
         with recorder.span("analyze.symex"), use_budget(budget):
-            result = engine.run(ast, n_args=n_args)
+            result = engine.run(ast, n_args=n_args, args=args)
     except AnalysisBudgetExceeded as exc:
         recorder.count("analyze.degraded")
         diagnostics.append(

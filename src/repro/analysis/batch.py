@@ -53,7 +53,11 @@ class BatchConfig:
     invalidates exactly the affected entries).
     """
 
-    n_args: int = 0
+    #: ``None`` models argv as unknown-at-entry (the default);
+    #: an int asks for that many symbolic positional parameters
+    n_args: Optional[int] = None
+    #: concrete argument values (``--args a b c``); wins over ``n_args``
+    args: Optional[Tuple[str, ...]] = None
     platform_targets: Optional[Tuple[str, ...]] = None
     include_lint: bool = False
     max_fork: int = 64
@@ -70,7 +74,8 @@ class BatchConfig:
 
     def fingerprint(self) -> str:
         return (
-            f"n_args={self.n_args};platforms={self.platform_targets};"
+            f"n_args={self.n_args};args={self.args};"
+            f"platforms={self.platform_targets};"
             f"lint={self.include_lint};max_fork={self.max_fork};"
             f"max_loop={self.max_loop};prune={self.prune};races={self.races}"
         )
@@ -78,6 +83,7 @@ class BatchConfig:
     def analyze_kwargs(self) -> dict:
         return {
             "n_args": self.n_args,
+            "args": self.args,
             "platform_targets": self.platform_targets,
             "include_lint": self.include_lint,
             "max_fork": self.max_fork,
@@ -223,11 +229,14 @@ def run_batch(
     config: Optional[BatchConfig] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    pool=None,
 ) -> BatchResult:
     """Analyze every script reachable from ``inputs``.
 
     ``jobs=None`` means ``os.cpu_count()``; ``cache=None`` disables
-    caching.  Reports always round-trip through
+    caching.  ``pool`` is an optional *persistent* process-pool executor
+    (the analysis server's): it is used instead of a per-batch pool and
+    left open for the caller to reuse and eventually shut down.  Reports always round-trip through
     ``Report.from_dict(...to_dict())`` — the pool and the cache both
     traffic in the serialized form — so cold, warm, parallel, and serial
     runs render identically.
@@ -272,7 +281,7 @@ def run_batch(
             pending.append((len(slots) - 1, path, source, key))
 
         for (slot, path, _, key), (data, seconds, quarantined) in zip(
-            pending, _drain(pending, config, jobs, rec)
+            pending, _drain(pending, config, jobs, rec, pool=pool)
         ):
             report = Report.from_dict(data)
             # incomplete results must not poison the cache: a cold rerun
@@ -303,6 +312,7 @@ def _drain(
     config: BatchConfig,
     jobs: int,
     rec,
+    pool=None,
 ) -> Iterator[Tuple[dict, float, bool]]:
     """Yield ``(report_dict, seconds, quarantined)`` for every pending
     file in input order, using a process pool when it pays off and
@@ -310,9 +320,9 @@ def _drain(
     (restricted sandboxes)."""
     if not pending:
         return
-    if jobs > 1 and len(pending) > 1:
+    if pool is not None or (jobs > 1 and len(pending) > 1):
         try:
-            results = _drain_pool(pending, config, jobs, rec)
+            results = _drain_pool(pending, config, jobs, rec, pool=pool)
         except (OSError, ImportError, RuntimeError):
             # no multiprocessing in this environment (sandboxed /dev/shm,
             # missing semaphores, broken pool): degrade to inline
@@ -337,6 +347,7 @@ def _drain_pool(
     config: BatchConfig,
     jobs: int,
     rec,
+    pool=None,
 ) -> List[Tuple[dict, float, bool]]:
     """One future per file, so a dying worker only loses that file.
 
@@ -346,9 +357,11 @@ def _drain_pool(
     propagate to :func:`_drain`'s inline fallback.
     """
     results: List[Tuple[dict, float, bool]] = []
-    with _make_pool(jobs) as pool:
+    own_pool = pool is None
+    executor = _make_pool(jobs) if own_pool else pool
+    try:
         futures = [
-            pool.submit(_pool_worker, (path, source, config))
+            executor.submit(_pool_worker, (path, source, config))
             for _, path, source, _ in pending
         ]
         for future, (_, path, source, _) in zip(futures, pending):
@@ -359,6 +372,9 @@ def _drain_pool(
                 results.append(_retry_inline(path, source, config, rec, exc))
             else:
                 results.append((data, seconds, False))
+    finally:
+        if own_pool:
+            executor.shutdown()
     return results
 
 

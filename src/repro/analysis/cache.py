@@ -26,7 +26,7 @@ from .report import Report
 #: bump to invalidate every cache entry produced by older analyzers
 #: (e.g. when engine semantics or checker rules change without a
 #: package-version bump)
-ANALYSIS_SALT = "analysis-v1"
+ANALYSIS_SALT = "analysis-v2"
 
 
 def default_cache_dir() -> str:

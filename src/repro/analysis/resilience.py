@@ -161,6 +161,25 @@ class ResourceBudget:
         return f"ResourceBudget({', '.join(parts)})"
 
 
+def clamped_budget(
+    deadline: Optional[float],
+    max_states: Optional[int],
+    cap_deadline: float = 30.0,
+    cap_states: int = 2_000_000,
+) -> ResourceBudget:
+    """A budget that is *never* unlimited: requested limits are clamped
+    to the given ceilings, and unset limits get the ceilings themselves.
+
+    This is the analysis server's request guard — a client may ask for a
+    smaller budget than the server default, never a larger one, so one
+    pathological request cannot wedge the resident daemon.
+    """
+    return ResourceBudget(
+        deadline=cap_deadline if deadline is None else min(deadline, cap_deadline),
+        max_states=cap_states if max_states is None else min(max_states, cap_states),
+    )
+
+
 # ---------------------------------------------------------------------------
 # The active budget (mirrors obs.get_recorder: layers too deep to take a
 # budget parameter look it up here; None means unlimited)

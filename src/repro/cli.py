@@ -96,9 +96,37 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
         help="script path(s), director(ies), glob pattern(s), or - for stdin; "
         "more than one input (or a directory/glob) switches to batch mode",
     )
-    parser.add_argument("--args", type=int, default=0, help="number of positional args")
+    parser.add_argument(
+        "--args",
+        nargs="+",
+        default=None,
+        metavar="ARG",
+        help="concrete positional arguments to analyze the script under; "
+        "without this flag argv is modelled as unknown at entry",
+    )
+    parser.add_argument(
+        "--n-args",
+        type=int,
+        default=None,
+        metavar="N",
+        help="model exactly N symbolic positional arguments instead of an "
+        "unknown argv",
+    )
     parser.add_argument(
         "--platforms", nargs="*", default=None, help="deployment platforms to check"
+    )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help="use a running repro-served daemon when available (falls back "
+        "to inline analysis when none is listening)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="analysis-server socket (default: $REPRO_SERVER_SOCKET or a "
+        "per-user runtime path)",
     )
     parser.add_argument("--lint", action="store_true", help="also run the syntactic baseline")
     parser.add_argument(
@@ -168,40 +196,109 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     from .analysis import analyze
     from .analysis.resilience import ResourceBudget
 
-    budget = None
-    if options.timeout is not None or options.max_states is not None:
-        budget = ResourceBudget(
-            deadline=options.timeout, max_states=options.max_states
-        )
+    source = _read_script(inputs[0])
     with _observed("repro-analyze", options):
-        report = analyze(
-            _read_script(inputs[0]),
-            n_args=options.args,
-            platform_targets=options.platforms,
-            include_lint=options.lint,
-            races=options.races,
-            budget=budget,
-        )
+        report = None
+        if options.server:
+            report = _analyze_via_server(options, source)
+        if report is None:
+            budget = None
+            if options.timeout is not None or options.max_states is not None:
+                budget = ResourceBudget(
+                    deadline=options.timeout, max_states=options.max_states
+                )
+            report = analyze(
+                source,
+                n_args=options.n_args,
+                args=options.args,
+                platform_targets=options.platforms,
+                include_lint=options.lint,
+                races=options.races,
+                budget=budget,
+            )
     print(report.render(min_severity=min_severity))
     if report.unsafe:
         return 1
     return 3 if report.degraded else 0
 
 
-def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity) -> int:
-    from .analysis import BatchConfig, ResultCache, run_batch
+def _batch_config(options: argparse.Namespace):
+    from .analysis import BatchConfig
 
-    config = BatchConfig(
-        n_args=options.args,
+    return BatchConfig(
+        n_args=options.n_args,
+        args=tuple(options.args) if options.args else None,
         platform_targets=tuple(options.platforms) if options.platforms else None,
         include_lint=options.lint,
         races=options.races,
         timeout=options.timeout,
         max_states=options.max_states,
     )
-    cache = None if options.no_cache else ResultCache(options.cache_dir)
+
+
+def _analyze_via_server(options: argparse.Namespace, source: str):
+    """One script via the daemon; None means fall back to inline."""
+    from .server import ServerClient, ServerError, ServerUnavailable
+
+    try:
+        with ServerClient(options.socket) as client:
+            report = client.analyze_source(source, _batch_config(options))
+            if options.stats:
+                _print_server_stats(client)
+            return report
+    except (ServerUnavailable, ServerError) as exc:
+        print(f"repro-analyze: {exc}; analyzing inline", file=sys.stderr)
+        return None
+
+
+def _batch_via_server(options: argparse.Namespace, inputs: List[str]):
+    """A corpus via the daemon; None means fall back to inline."""
+    from .server import ServerClient, ServerError, ServerUnavailable
+
+    try:
+        with ServerClient(options.socket) as client:
+            batch = client.batch(inputs, _batch_config(options))
+            if options.stats:
+                _print_server_stats(client)
+            return batch
+    except (ServerUnavailable, ServerError) as exc:
+        print(f"repro-analyze: {exc}; analyzing inline", file=sys.stderr)
+        return None
+
+
+def _print_server_stats(client) -> None:
+    """The daemon's view of the run: cumulative `server.*`/`batch.*`
+    counters on stderr, next to the client-side --stats table."""
+    from .server import ServerError, ServerUnavailable
+
+    try:
+        stats = client.stats()
+    except (ServerUnavailable, ServerError):
+        return  # the analysis already succeeded; stats are best-effort
+    print(
+        f"repro-served[{stats.get('pid', '?')}]: "
+        f"{stats.get('requests', 0)} request(s), "
+        f"uptime {stats.get('uptime_s', 0.0):.0f}s",
+        file=sys.stderr,
+    )
+    counters = stats.get("metrics", {}).get("counters", {})
+    for name in sorted(counters):
+        if name.startswith(("server.", "batch.")):
+            print(f"  {name} {'.' * max(2, 42 - len(name))} {counters[name]}", file=sys.stderr)
+
+
+def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity) -> int:
+    from .analysis import ResultCache, run_batch
+
     with _observed("repro-analyze", options):
-        batch = run_batch(inputs, config=config, jobs=options.jobs, cache=cache)
+        batch = None
+        if options.server:
+            batch = _batch_via_server(options, inputs)
+        if batch is None:
+            cache = None if options.no_cache else ResultCache(options.cache_dir)
+            batch = run_batch(
+                inputs, config=_batch_config(options), jobs=options.jobs, cache=cache
+            )
     if not batch.results:
         print("repro-analyze: no scripts found", file=sys.stderr)
         return 2
@@ -316,7 +413,14 @@ def main_verify(argv: Optional[List[str]] = None) -> int:
         "(e.g. curl url | repro-verify --no-RW ~/mine - && curl url | sh).",
     )
     parser.add_argument("script", help="script path, or - for stdin")
-    parser.add_argument("--args", type=int, default=0)
+    parser.add_argument(
+        "--args",
+        nargs="+",
+        default=None,
+        metavar="ARG",
+        help="concrete positional arguments (default: argv unknown at entry)",
+    )
+    parser.add_argument("--n-args", type=int, default=None, metavar="N")
     parser.add_argument(
         "policy",
         nargs=argparse.REMAINDER,
@@ -330,10 +434,137 @@ def main_verify(argv: Optional[List[str]] = None) -> int:
     rules = parse_policy(list(unknown) + list(options.policy))
     with _observed("repro-verify", options):
         result = verify_script(
-            _read_script(options.script), rules, n_args=options.args
+            _read_script(options.script),
+            rules,
+            n_args=options.n_args,
+            args=options.args,
         )
     print(result.render())
     return 0 if result.verdict is Verdict.ALLOW else 1
+
+
+# ---------------------------------------------------------------------------
+# repro-served
+# ---------------------------------------------------------------------------
+
+
+def main_served(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-served",
+        description="Resident analysis daemon: keeps the spec registry, "
+        "DFA caches, and result cache warm and serves repro-analyze "
+        "--server requests over a Unix socket (line-delimited JSON).",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="socket to listen on (default: $REPRO_SERVER_SOCKET or a "
+        "per-user runtime path)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="size of the persistent analysis process pool "
+        "(default: the machine's CPU count; 1 disables the pool)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache location "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/analysis)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="serve without a result cache"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-request wall-clock ceiling; client-requested budgets are "
+        "clamped to it (default: 30s)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-request symbolic evaluation-step ceiling (default: 2000000)",
+    )
+    parser.add_argument(
+        "--watch",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="watch mode: poll these files/directories and re-analyze "
+        "scripts as they change, keeping the cache warm",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECS",
+        help="watch-mode poll interval (default: 1s)",
+    )
+    _add_common_flags(parser)
+    options = parser.parse_args(argv)
+
+    from .server import default_socket_path, serve
+    from .server.daemon import DEFAULT_CAP_DEADLINE, DEFAULT_CAP_STATES
+
+    socket_path = options.socket or default_socket_path()
+    print(f"repro-served: listening on {socket_path}", file=sys.stderr)
+    recorder = None
+    if options.stats or options.trace:
+        from .obs import TraceRecorder
+
+        recorder = TraceRecorder()
+    try:
+        server = serve(
+            socket_path=socket_path,
+            jobs=options.jobs,
+            cache_dir=options.cache_dir,
+            no_cache=options.no_cache,
+            cap_deadline=(
+                options.timeout if options.timeout is not None else DEFAULT_CAP_DEADLINE
+            ),
+            cap_states=(
+                options.max_states
+                if options.max_states is not None
+                else DEFAULT_CAP_STATES
+            ),
+            watch=options.watch,
+            interval=options.interval,
+            recorder=recorder,
+        )
+    except KeyboardInterrupt:
+        print("repro-served: interrupted", file=sys.stderr)
+        return 0
+    except OSError as exc:
+        print(f"repro-served: cannot serve: {exc}", file=sys.stderr)
+        return 2
+    if recorder is not None:
+        from .obs.export import render_stats, write_chrome_trace
+
+        if options.trace:
+            try:
+                write_chrome_trace(recorder, options.trace)
+            except OSError as exc:
+                print(
+                    f"repro-served: cannot write trace file: {exc}",
+                    file=sys.stderr,
+                )
+        if options.stats:
+            print(render_stats(recorder), file=sys.stderr)
+    print(
+        f"repro-served: stopped after {server.requests_served} request(s)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -375,6 +606,7 @@ _TOOLS = {
     "monitor": main_monitor,
     "verify": main_verify,
     "mine": main_mine,
+    "served": main_served,
 }
 
 

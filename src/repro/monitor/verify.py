@@ -98,12 +98,13 @@ def expand_policy_path(path: str, home: str = "/home/user") -> str:
 def verify_script(
     source: str,
     rules: Sequence[PolicyRule],
-    n_args: int = 0,
+    n_args: Optional[int] = None,
+    args: Optional[Sequence[str]] = None,
     home: str = "/home/user",
 ) -> VerifyResult:
     """Statically verify a script against a policy."""
     engine = Engine(checkers=default_checkers())
-    result = engine.run_script(source, n_args=n_args)
+    result = engine.run_script(source, n_args=n_args, args=args)
 
     violations: List[Violation] = []
     seen = set()

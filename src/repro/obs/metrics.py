@@ -64,3 +64,33 @@ class MetricsSnapshot:
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the analysis server's ``stats`` op)."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum,
+                    "max": h.maximum,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            histograms={
+                name: Histogram(
+                    count=h.get("count", 0),
+                    total=h.get("total", 0.0),
+                    minimum=h.get("min"),
+                    maximum=h.get("max"),
+                )
+                for name, h in data.get("histograms", {}).items()
+            },
+        )

@@ -1,0 +1,28 @@
+"""The resident analysis server: ahead-of-time analysis at
+just-in-time latency.
+
+A long-lived daemon (:mod:`.daemon`, CLI ``repro-served``) keeps the
+spec registry, the compiled-DFA caches, and the persistent result cache
+warm in one process and answers analyze/batch requests over a Unix
+socket speaking line-delimited JSON (:mod:`.protocol`).  The thin
+client (:mod:`.client`, CLI ``repro-analyze --server``) falls back to
+inline analysis when no daemon is running, and :mod:`.watch` keeps the
+cache warm as files change on disk.
+"""
+
+from .client import ServerClient, ServerError, ServerUnavailable, server_available
+from .daemon import AnalysisServer, serve
+from .protocol import PROTOCOL_VERSION, default_socket_path
+from .watch import Watcher
+
+__all__ = [
+    "AnalysisServer",
+    "PROTOCOL_VERSION",
+    "ServerClient",
+    "ServerError",
+    "ServerUnavailable",
+    "Watcher",
+    "default_socket_path",
+    "serve",
+    "server_available",
+]

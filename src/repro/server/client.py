@@ -1,0 +1,166 @@
+"""Client side of the analysis-server protocol.
+
+``repro-analyze --server`` goes through here: if a daemon is listening
+on the socket, requests are served warm; if not (or the daemon dies
+mid-conversation), :class:`ServerUnavailable` is raised and the CLI
+falls back to inline analysis — the server is an accelerator, never a
+requirement.  Responses traffic in the same serialized
+``Report.to_dict`` forms the batch driver and cache use, so rendering a
+server result is byte-identical to rendering an inline one.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import List, Optional, Sequence
+
+from ..analysis.batch import BatchConfig, BatchResult, FileResult
+from ..analysis.report import Report
+from . import protocol
+
+
+class ServerUnavailable(Exception):
+    """No daemon on the socket (or it vanished mid-request)."""
+
+
+class ServerError(Exception):
+    """The daemon answered, but with an error response."""
+
+
+class ServerClient:
+    """One connection to a running daemon; usable as a context manager."""
+
+    def __init__(self, socket_path: Optional[str] = None, timeout: Optional[float] = 300.0):
+        self.socket_path = socket_path or protocol.default_socket_path()
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection ---------------------------------------------------------
+
+    def connect(self) -> "ServerClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServerUnavailable(
+                f"no analysis server at {self.socket_path}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServerClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- requests -----------------------------------------------------------
+
+    def request(self, message: dict):
+        """One request/response round trip; returns the ``result``."""
+        self.connect()
+        try:
+            self._file.write(protocol.encode(message))
+            self._file.flush()
+            response = protocol.read_message(self._file)
+        except (OSError, protocol.ProtocolError) as exc:
+            self.close()
+            raise ServerUnavailable(f"analysis server lost: {exc}") from exc
+        if response is None:
+            self.close()
+            raise ServerUnavailable("analysis server closed the connection")
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "unknown server error"))
+        return response.get("result")
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def analyze_source(self, source: str, config: Optional[BatchConfig] = None) -> Report:
+        """Analyze one script's text; returns the reconstructed Report."""
+        result = self.request(
+            {
+                "op": "analyze",
+                "source": source,
+                "config": protocol.config_to_wire(config or BatchConfig()),
+            }
+        )
+        return Report.from_dict(result["report"])
+
+    def batch(
+        self, inputs: Sequence[str], config: Optional[BatchConfig] = None
+    ) -> BatchResult:
+        """Batch-analyze files/dirs/globs; returns a BatchResult exactly
+        shaped like :func:`~repro.analysis.batch.run_batch`'s.
+
+        Inputs are absolutized first (the daemon resolves paths in *its*
+        working directory, which need not be the client's); when every
+        input was relative, the returned paths are mapped back to
+        cwd-relative form so the rendered output is byte-identical to
+        the inline path.
+        """
+        result = self.request(
+            {
+                "op": "batch",
+                "inputs": [os.path.abspath(item) for item in inputs],
+                "config": protocol.config_to_wire(config or BatchConfig()),
+            }
+        )
+        cwd = os.getcwd()
+        relativize = all(not os.path.isabs(item) for item in inputs)
+
+        def local_path(path: str) -> str:
+            return os.path.relpath(path, cwd) if relativize else path
+
+        batch = BatchResult(
+            results=[
+                FileResult(
+                    path=local_path(entry["path"]),
+                    report=Report.from_dict(entry["report"]),
+                    cached=entry.get("cached", False),
+                    seconds=entry.get("seconds", 0.0),
+                    quarantined=entry.get("quarantined", False),
+                )
+                for entry in result.get("results", [])
+            ],
+        )
+        batch.hits = result.get("hits", 0)
+        batch.misses = result.get("misses", 0)
+        return batch
+
+
+def server_available(socket_path: Optional[str] = None) -> bool:
+    """True when a daemon answers a ping on the socket."""
+    try:
+        with ServerClient(socket_path, timeout=2.0) as client:
+            client.ping()
+            return True
+    except (ServerUnavailable, ServerError):
+        return False

@@ -1,0 +1,358 @@
+"""The resident analysis daemon (``repro-served``).
+
+The paper's just-in-time deployment — analyzing a script at the moment
+it is about to run — needs answers at interactive latency, and a
+one-shot CLI cannot deliver that: every invocation pays interpreter
+start-up, spec-corpus loading, and DFA-cache warm-up before the first
+byte of analysis.  The daemon pays those costs once and keeps the three
+warm stores resident:
+
+- the spec registry (command models) and its compiled min-DFAs,
+- the rlang pattern caches built up by prior analyses,
+- the persistent :class:`~repro.analysis.cache.ResultCache`, so an
+  unchanged file costs one hash + one read — zero symbolic execution.
+
+Requests arrive over a Unix socket as line-delimited JSON (see
+:mod:`.protocol`); each connection is served on its own thread, and
+batch requests fan out across a *persistent* process pool that
+survives between requests.  Every request runs under a clamped
+:class:`~repro.analysis.resilience.ResourceBudget` — a client may ask
+for less time than the server cap, never more — so one pathological
+script cannot wedge the daemon for other clients.
+
+Telemetry: ``server.requests`` / ``server.errors`` counters,
+``server.<op>`` spans per request, and the ``stats`` op ships the
+recorder's full metrics snapshot (including the ``batch.cache.*``
+counters that make "the warm path did no symbolic execution"
+observable).
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+from .. import __version__
+from ..analysis.batch import BatchConfig, _make_pool, run_batch
+from ..analysis.cache import ResultCache, cache_key
+from ..analysis.resilience import clamped_budget
+from ..obs import TraceRecorder, use_recorder
+from . import protocol
+from .watch import Watcher
+
+#: server-side ceilings for per-request budgets
+DEFAULT_CAP_DEADLINE = 30.0
+DEFAULT_CAP_STATES = 2_000_000
+
+
+class AnalysisServer:
+    """The long-lived analysis service behind the socket.
+
+    Owns the warm state (result cache, persistent process pool, the
+    recorder) and implements every protocol op as a method; the socket
+    layer (:class:`_SocketServer`) is a thin threaded shell around
+    :meth:`handle_request`.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        cap_deadline: float = DEFAULT_CAP_DEADLINE,
+        cap_states: int = DEFAULT_CAP_STATES,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        self.socket_path = socket_path or protocol.default_socket_path()
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.cap_deadline = cap_deadline
+        self.cap_states = cap_states
+        self.recorder = recorder or TraceRecorder()
+        self.started_at = time.monotonic()
+        self.requests_served = 0
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._server: Optional[_SocketServer] = None
+        self._watcher_stop = threading.Event()
+
+    # -- warm state ---------------------------------------------------------
+
+    def warm(self) -> None:
+        """Pay the cold-start costs up front: load the spec registry and
+        run one trivial analysis so the shared DFA caches (spec patterns,
+        common regexes) are built before the first request arrives."""
+        from ..analysis import analyze
+        from ..specs import default_registry
+
+        with use_recorder(self.recorder):
+            with self.recorder.span("server.warm"):
+                default_registry()
+                analyze("true\n")
+
+    def _get_pool(self):
+        """The persistent process pool, (re)created on demand.  A pool
+        whose workers died is replaced rather than reused; ``jobs=1``
+        means no pool (inline analysis), which also serves as the
+        fallback in pool-less sandboxes."""
+        if self.jobs <= 1:
+            return None
+        with self._pool_lock:
+            pool = self._pool
+            if pool is not None and getattr(pool, "_broken", False):
+                pool.shutdown(wait=False)
+                pool = self._pool = None
+                self.recorder.count("server.pool_recreated")
+            if pool is None:
+                try:
+                    pool = self._pool = _make_pool(self.jobs)
+                except (OSError, ImportError, RuntimeError):
+                    return None
+            return pool
+
+    def _clamped(self, config: BatchConfig) -> BatchConfig:
+        """The request's config with its budget clamped to server caps."""
+        budget = clamped_budget(
+            config.timeout,
+            config.max_states,
+            cap_deadline=self.cap_deadline,
+            cap_states=self.cap_states,
+        )
+        return replace(
+            config, timeout=budget.deadline, max_states=budget.max_states
+        )
+
+    # -- ops ----------------------------------------------------------------
+
+    def handle_request(self, message: dict) -> dict:
+        """Dispatch one request; never raises (errors become responses)."""
+        op = message.get("op")
+        self.requests_served += 1
+        with use_recorder(self.recorder):
+            self.recorder.count("server.requests")
+            try:
+                if op == "ping":
+                    return protocol.ok(self._op_ping())
+                if op == "analyze":
+                    with self.recorder.span("server.analyze"):
+                        return protocol.ok(self._op_analyze(message))
+                if op == "batch":
+                    with self.recorder.span("server.batch"):
+                        return protocol.ok(self._op_batch(message))
+                if op == "stats":
+                    return protocol.ok(self._op_stats())
+                if op == "shutdown":
+                    self._initiate_shutdown()
+                    return protocol.ok({"stopping": True})
+                self.recorder.count("server.errors")
+                return protocol.error(f"unknown op: {op!r}")
+            except Exception as exc:  # noqa: BLE001 — the daemon must survive
+                self.recorder.count("server.errors")
+                return protocol.error(f"{type(exc).__name__}: {exc}")
+
+    def _op_ping(self) -> dict:
+        return {
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+        }
+
+    def _op_analyze(self, message: dict) -> dict:
+        """One script, by inline ``source`` or by ``path``."""
+        from ..analysis import analyze
+        from ..analysis.report import Report
+
+        source = message.get("source")
+        if source is None:
+            path = message.get("path")
+            if not path:
+                raise ValueError("analyze request needs 'source' or 'path'")
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        config = self._clamped(protocol.config_from_wire(message.get("config")))
+        key = cache_key(source, config.fingerprint())
+        if self.cache is not None:
+            data = self.cache.get(key)
+            if data is not None:
+                self.recorder.count("batch.cache.hit")
+                return {"report": data, "cached": True}
+            self.recorder.count("batch.cache.miss")
+        report = analyze(source, budget=config.budget(), **config.analyze_kwargs())
+        data = report.to_dict()
+        if self.cache is not None and not report.degraded:
+            self.cache.put(key, data)
+        # round-trip like the batch driver so server output is
+        # byte-identical to the inline path
+        return {"report": Report.from_dict(data).to_dict(), "cached": False}
+
+    def _op_batch(self, message: dict) -> dict:
+        inputs = message.get("inputs")
+        if not isinstance(inputs, list) or not inputs:
+            raise ValueError("batch request needs a non-empty 'inputs' list")
+        config = self._clamped(protocol.config_from_wire(message.get("config")))
+        batch = run_batch(
+            inputs,
+            config=config,
+            jobs=self.jobs,
+            cache=self.cache,
+            pool=self._get_pool(),
+        )
+        return {
+            "results": [
+                {
+                    "path": r.path,
+                    "report": r.report.to_dict(),
+                    "cached": r.cached,
+                    "quarantined": r.quarantined,
+                    "seconds": r.seconds,
+                }
+                for r in batch.results
+            ],
+            "hits": batch.hits,
+            "misses": batch.misses,
+        }
+
+    def _op_stats(self) -> dict:
+        return {
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self.started_at,
+            "requests": self.requests_served,
+            "jobs": self.jobs,
+            "cache": self.cache is not None,
+            "metrics": self.recorder.snapshot().to_dict(),
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _initiate_shutdown(self) -> None:
+        """Stop the socket loop from a handler thread (shutdown() blocks
+        until serve_forever returns, so it must not run on the handler)."""
+        server = self._server
+        if server is not None:
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def start_watcher(self, inputs: List[str], interval: float = 1.0) -> threading.Thread:
+        """Watch mode: poll ``inputs`` for new/modified scripts and
+        re-analyze them as they change, keeping the result cache warm so
+        the *next* client request over those files is all cache hits."""
+        watcher = Watcher(inputs)
+
+        def loop() -> None:
+            while not self._watcher_stop.wait(interval):
+                changed = watcher.scan()
+                if not changed:
+                    continue
+                with use_recorder(self.recorder):
+                    self.recorder.count("server.watch_rounds")
+                    self.recorder.count("server.watch_files", len(changed))
+                    with self.recorder.span("server.watch"):
+                        run_batch(
+                            changed,
+                            config=self._clamped(BatchConfig()),
+                            jobs=self.jobs,
+                            cache=self.cache,
+                            pool=self._get_pool(),
+                        )
+
+        thread = threading.Thread(target=loop, name="repro-watch", daemon=True)
+        thread.start()
+        return thread
+
+    def serve_forever(self) -> None:
+        """Bind the socket and serve until ``shutdown`` (op or signal)."""
+        parent = os.path.dirname(self.socket_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead daemon
+        self._server = _SocketServer(self.socket_path, self)
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._watcher_stop.set()
+        server, self._server = self._server, None
+        if server is not None:
+            server.server_close()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request line -> response line."""
+
+    def handle(self) -> None:
+        service: AnalysisServer = self.server.service
+        while True:
+            try:
+                message = protocol.read_message(self.rfile)
+            except protocol.ProtocolError as exc:
+                self.wfile.write(protocol.encode(protocol.error(str(exc))))
+                continue
+            if message is None:
+                return  # client closed the connection
+            response = service.handle_request(message)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if message.get("op") == "shutdown":
+                return
+
+
+class _SocketServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    """Threaded Unix-socket server (composed by hand:
+    ``ThreadingUnixStreamServer`` only exists on Python >= 3.12)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str, service: AnalysisServer):
+        self.service = service
+        super().__init__(socket_path, _Handler)
+
+
+def serve(
+    socket_path: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+    cap_deadline: float = DEFAULT_CAP_DEADLINE,
+    cap_states: int = DEFAULT_CAP_STATES,
+    watch: Optional[List[str]] = None,
+    interval: float = 1.0,
+    recorder: Optional[TraceRecorder] = None,
+) -> AnalysisServer:
+    """Build, warm, and run a daemon (the ``repro-served`` body).
+
+    Blocks until shutdown; returns the server object (tests inspect it).
+    """
+    cache = None if no_cache else ResultCache(cache_dir)
+    server = AnalysisServer(
+        socket_path=socket_path,
+        jobs=jobs,
+        cache=cache,
+        cap_deadline=cap_deadline,
+        cap_states=cap_states,
+        recorder=recorder,
+    )
+    server.warm()
+    if watch:
+        server.start_watcher(watch, interval=interval)
+    server.serve_forever()
+    return server

@@ -1,0 +1,140 @@
+"""Wire protocol for the resident analysis server.
+
+One connection carries a sequence of requests, each a single line of
+JSON terminated by ``\\n``; every request gets exactly one response line.
+Line-delimited JSON keeps the protocol trivially debuggable
+(``echo '{"op":"ping"}' | nc -U ...``) and framing-free: no length
+prefixes, no partial-read state machines.
+
+Requests are objects with an ``op`` field:
+
+- ``{"op": "ping"}`` — liveness + version handshake
+- ``{"op": "analyze", "source": ..., "config": {...}}`` — one script
+  (by ``source`` text or by ``path``); response carries the serialized
+  :class:`~repro.analysis.report.Report` plus a ``cached`` flag
+- ``{"op": "batch", "inputs": [...], "config": {...}}`` — files,
+  directories, and glob patterns, exactly like ``repro-analyze``'s
+  positional arguments; response carries per-file serialized reports
+- ``{"op": "stats"}`` — server uptime, request counts, and a metrics
+  snapshot from the daemon's recorder
+- ``{"op": "shutdown"}`` — acknowledge, then stop serving
+
+Responses are ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": "..."}``.  The server never closes the
+connection in response to a malformed request — it answers with an
+error so interactive clients can recover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import IO, Optional
+
+#: bump on any incompatible request/response shape change
+PROTOCOL_VERSION = 1
+
+#: refuse request lines longer than this (a malformed or malicious
+#: client must not balloon daemon memory); generous enough for the
+#: largest real script corpora sent inline
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: environment override for the rendezvous point
+SOCKET_ENV = "REPRO_SERVER_SOCKET"
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad JSON, missing op, oversized line)."""
+
+
+def default_socket_path() -> str:
+    """The rendezvous socket path: ``$REPRO_SERVER_SOCKET`` if set, else
+    a per-user path under ``$XDG_RUNTIME_DIR`` or the temp directory."""
+    override = os.environ.get(SOCKET_ENV)
+    if override:
+        return override
+    runtime_dir = os.environ.get("XDG_RUNTIME_DIR")
+    if runtime_dir and os.path.isdir(runtime_dir):
+        return os.path.join(runtime_dir, "repro-served.sock")
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-served-{uid}.sock")
+
+
+def encode(message: dict) -> bytes:
+    """One message as a wire frame (compact JSON + newline)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire frame; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message
+
+
+def read_message(stream: IO[bytes]) -> Optional[dict]:
+    """The next message from a socket file, or None at EOF."""
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    return decode(line)
+
+
+def ok(result) -> dict:
+    return {"ok": True, "result": result}
+
+
+def error(message: str) -> dict:
+    return {"ok": False, "error": message}
+
+
+# ---------------------------------------------------------------------------
+# Config marshalling (BatchConfig <-> wire dict)
+# ---------------------------------------------------------------------------
+
+
+def config_to_wire(config) -> dict:
+    """A :class:`~repro.analysis.batch.BatchConfig` as a wire dict
+    (only non-default fields, so old servers tolerate new clients)."""
+    from ..analysis.batch import BatchConfig
+
+    defaults = BatchConfig()
+    wire = {}
+    for name in (
+        "n_args",
+        "args",
+        "platform_targets",
+        "include_lint",
+        "max_fork",
+        "max_loop",
+        "prune",
+        "races",
+        "timeout",
+        "max_states",
+    ):
+        value = getattr(config, name)
+        if value != getattr(defaults, name):
+            wire[name] = list(value) if isinstance(value, tuple) else value
+    return wire
+
+
+def config_from_wire(data: Optional[dict]):
+    """The inverse of :func:`config_to_wire`; unknown fields ignored."""
+    from ..analysis.batch import BatchConfig
+
+    data = data or {}
+    kwargs = {}
+    for name, value in data.items():
+        if name not in BatchConfig.__dataclass_fields__:
+            continue
+        if name in ("args", "platform_targets") and value is not None:
+            value = tuple(value)
+        kwargs[name] = value
+    return BatchConfig(**kwargs)

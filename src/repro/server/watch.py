@@ -1,0 +1,52 @@
+"""Watch mode: mtime polling over script corpora.
+
+No inotify dependency — a deliberate choice: the daemon must run in
+restricted sandboxes and on every Unix, and a 1-second poll over a few
+thousand ``stat`` calls is far below the cost of one analysis.  The
+:class:`Watcher` is a pure incremental-scan object (no threads, no
+clocks) so tests can drive it deterministically; the daemon wraps it in
+a polling thread.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from ..analysis.batch import discover
+
+
+class Watcher:
+    """Tracks (size, mtime) signatures for every script reachable from
+    ``inputs``; :meth:`scan` returns the paths that changed since the
+    previous scan."""
+
+    def __init__(self, inputs: Sequence[str]):
+        self.inputs = list(inputs)
+        self._signatures: Dict[str, tuple] = {}
+        self._primed = False
+
+    def scan(self) -> List[str]:
+        """Paths that are new or modified since the last scan.
+
+        The first scan primes the signature table and reports *every*
+        file (the daemon uses that to pre-warm the cache); deleted files
+        are dropped from tracking but never reported.
+        """
+        changed: List[str] = []
+        seen = set()
+        for path in discover(self.inputs):
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            seen.add(path)
+            signature = (stat.st_size, stat.st_mtime_ns)
+            if self._signatures.get(path) != signature:
+                self._signatures[path] = signature
+                changed.append(path)
+        for path in list(self._signatures):
+            if path not in seen:
+                del self._signatures[path]
+        self._primed = True
+        return changed

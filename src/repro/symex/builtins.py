@@ -543,6 +543,9 @@ def builtin_shift(argv: List[SymString], state: SymState, engine: "Engine") -> L
         count = int(argv[1].concrete_value())
     if len(state.params) > 1:
         state.params = [state.params[0]] + state.params[1 + count :]
+    if state.argv_unknown:
+        # the count changed: any memoised $# no longer describes it
+        state.argc_sym = None
     return [state.with_status(0)]
 
 
@@ -567,10 +570,16 @@ def builtin_return(argv: List[SymString], state: SymState, engine: "Engine") -> 
 
 
 def builtin_set(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
-    for arg in argv[1:]:
+    for idx, arg in enumerate(argv[1:], start=1):
         concrete = arg.concrete_value()
-        if not concrete:
-            continue
+        if concrete == "--":
+            # `set -- a b c`: the operands become the (now known) argv
+            state.set_params(argv[idx + 1 :])
+            return [state.with_status(0)]
+        if concrete is None or not concrete.startswith(("-", "+")):
+            # first non-option operand: it and the rest replace argv
+            state.set_params(argv[idx:])
+            return [state.with_status(0)]
         if concrete.startswith("-") and len(concrete) > 1:
             state.options.update(c for c in concrete[1:] if c in "eux")
         elif concrete.startswith("+") and len(concrete) > 1:
@@ -613,6 +622,47 @@ def _loop_control(
     # bash clamps N to the number of enclosing loops
     state.loop_control = (kind, min(levels, depth))
     return [state.with_status(0)]
+
+
+def builtin_getopts(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
+    """``getopts optstring var [args...]``: one option-parsing step.
+
+    Pure environment effect — binds ``var`` to one of the option letters
+    (or ``?`` for an invalid option), ``OPTARG`` to an unknown string,
+    and ``OPTIND`` to an unknown index; touches no files.  Forks the
+    "parsed an option" (status 0) and "options exhausted" (status 1)
+    outcomes so ``while getopts ...`` loops explore both.
+    """
+    optstring = argv[1].concrete_value() if len(argv) > 1 else None
+    varname = argv[2].concrete_value() if len(argv) > 2 else None
+
+    ok = state.fork(note="getopts: option parsed")
+    if varname:
+        letters = ""
+        if optstring:
+            letters = "".join(
+                c for c in optstring.lstrip(":") if c != ":"
+            )
+        if letters:
+            # var holds one optstring letter, or "?" on an invalid option
+            lang = Regex.literal("?")
+            for c in letters:
+                lang = lang | Regex.literal(c)
+            vid = ok.store.fresh(lang, label=f"${varname} (getopts)")
+        else:
+            vid = ok.store.fresh(label=f"${varname} (getopts)")
+        ok.set_var(varname, SymString.var(vid))
+    arg_vid = ok.store.fresh(label="$OPTARG (getopts)")
+    ok.set_var("OPTARG", SymString.var(arg_vid))
+    ind_vid = ok.store.fresh(
+        Regex.compile("[1-9][0-9]*"), label="$OPTIND (getopts)"
+    )
+    ok.set_var("OPTIND", SymString.var(ind_vid))
+    ok.status = 0
+
+    done = state.fork(note="getopts: options exhausted")
+    done.status = 1
+    return [ok, done]
 
 
 def builtin_wait(argv: List[SymString], state: SymState, engine: "Engine") -> List[SymState]:
@@ -667,6 +717,7 @@ _BUILTINS: Dict[str, Callable] = {
     "return": builtin_return,
     "set": builtin_set,
     "realpath": builtin_realpath,
+    "getopts": builtin_getopts,
     "wait": builtin_wait,
     "break": builtin_break,
     "continue": builtin_continue,

@@ -27,6 +27,7 @@ from ..shell.ast import (
     For,
     FunctionDef,
     If,
+    ParamPart,
     Pipeline,
     Redirect,
     Sequence as SeqNode,
@@ -141,13 +142,31 @@ class Engine:
 
     # -- entry points -------------------------------------------------------
 
-    def initial_state(self, n_args: int = 0) -> SymState:
+    def initial_state(
+        self,
+        n_args: Optional[int] = None,
+        args: Optional[Sequence[str]] = None,
+    ) -> SymState:
+        """The entry state.
+
+        - ``args``: concrete positional parameters (``--args a b c``).
+        - ``n_args``: that many *symbolic* positional parameters with a
+          known count (the legacy mode, kept for ``# @args N``).
+        - neither: POSIX start-up semantics — argv is whatever the caller
+          passes, so the positionals are unknown-at-entry (``$#`` is a
+          symbolic count, ``$N`` materialises lazily).
+        """
         state = SymState()
         vid0 = state.store.fresh(Regex.compile(SCRIPT_PATH_RE), label="$0")
         state.params = [SymString.var(vid0)]
-        for idx in range(1, n_args + 1):
-            vid = state.store.fresh(label=f"${idx}")
-            state.params.append(SymString.var(vid))
+        if args is not None:
+            state.params.extend(SymString.lit(str(a)) for a in args)
+        elif n_args is None:
+            state.argv_unknown = True
+        else:
+            for idx in range(1, n_args + 1):
+                vid = state.store.fresh(label=f"${idx}")
+                state.params.append(SymString.var(vid))
         cwd_vid = state.store.fresh(
             Regex.compile(builtins_mod.ABS_PATH), label="$PWD"
         )
@@ -159,13 +178,21 @@ class Engine:
         return state
 
     def run_script(
-        self, source: str, n_args: int = 0, state: Optional[SymState] = None
+        self,
+        source: str,
+        n_args: Optional[int] = None,
+        state: Optional[SymState] = None,
+        args: Optional[Sequence[str]] = None,
     ) -> ExecResult:
         ast = parse_shell(source)
-        return self.run(ast, state=state, n_args=n_args)
+        return self.run(ast, state=state, n_args=n_args, args=args)
 
     def run(
-        self, ast: Command, state: Optional[SymState] = None, n_args: int = 0
+        self,
+        ast: Command,
+        state: Optional[SymState] = None,
+        n_args: Optional[int] = None,
+        args: Optional[Sequence[str]] = None,
     ) -> ExecResult:
         rec = self._rec = self.recorder if self.recorder is not None else get_recorder()
         if self.budget is not None:
@@ -183,7 +210,7 @@ class Engine:
         self._origin_cache = {}
         self.loop_depth = 0
         if state is None:
-            state = self.initial_state(n_args=n_args)
+            state = self.initial_state(n_args=n_args, args=args)
         with rec.span("symex.run"):
             finals = self.eval(ast, state)
             diagnostics: List[Diagnostic] = []
@@ -398,11 +425,20 @@ class Engine:
             return [state]
         body = state.functions[name]
         saved_params = list(state.params)
+        saved_unknown = state.argv_unknown
+        saved_argc = state.argc_sym
         state.params = [saved_params[0] if saved_params else SymString.lit(name)] + argv[1:]
+        # inside the function the positional parameters are exactly the
+        # call's arguments: a known count, even when the script's own
+        # argv is unknown
+        state.argv_unknown = False
+        state.argc_sym = None
         state.depth += 1
         results = self.eval(body, state)
         for result in results:
             result.params = saved_params
+            result.argv_unknown = saved_unknown
+            result.argc_sym = saved_argc
             result.depth -= 1
             result.halted = False  # `return` only exits the function
         return results
@@ -890,6 +926,8 @@ class Engine:
         saved = (
             dict(state.env),
             list(state.params),
+            state.argv_unknown,
+            state.argc_sym,
             dict(state.functions),
             state.cwd_node,
             state.cwd_str,
@@ -921,6 +959,8 @@ class Engine:
             (
                 env,
                 params,
+                argv_unknown,
+                argc_sym,
                 functions,
                 cwd_node,
                 cwd_str,
@@ -932,6 +972,8 @@ class Engine:
             ) = saved
             result.env = dict(env)
             result.params = list(params)
+            result.argv_unknown = argv_unknown
+            result.argc_sym = argc_sym
             result.functions = dict(functions)
             result.cwd_node = cwd_node
             result.cwd_str = cwd_str
@@ -957,6 +999,8 @@ class Engine:
         for sub in subs:
             sub.env = dict(state.env)
             sub.params = list(state.params)
+            sub.argv_unknown = state.argv_unknown
+            sub.argc_sym = state.argc_sym
             sub.functions = dict(state.functions)
             sub.cwd_node = state.cwd_node
             sub.cwd_str = state.cwd_str
@@ -1106,7 +1150,13 @@ class Engine:
         return self._apply_redirect_list(node.redirects, exits, owner=node)
 
     def eval_for(self, node: For, state: SymState) -> List[SymState]:
-        if node.words is None:
+        # `for x` / `for x in "$@"` over an unknown argv: the known prefix
+        # iterates concretely, then the unknown tail is explored as an
+        # open-ended loop (zero or more further unknown values)
+        open_tail = state.argv_unknown and (
+            node.words is None or _is_bare_at(node.words)
+        )
+        if node.words is None or (open_tail and _is_bare_at(node.words)):
             values_per_state = [(state, list(state.params[1:]))]
         else:
             values_per_state = expand_words(node.words, state, self)
@@ -1116,7 +1166,7 @@ class Engine:
             for st, values in values_per_state:
                 states = [st]
                 exited: List[SymState] = []
-                if not values:
+                if not values and not open_tail:
                     for s in states:
                         s.status = 0
                     results.extend(states)
@@ -1136,11 +1186,54 @@ class Engine:
                     states = self._prune(next_states)
                     if not states:
                         break
+                if open_tail:
+                    states = self._eval_open_tail(
+                        node, states, exited, had_known=bool(values)
+                    )
                 results.extend(states)
                 results.extend(exited)
         finally:
             self.loop_depth -= 1
         return self._apply_redirect_list(node.redirects, results, owner=node)
+
+    def _eval_open_tail(
+        self,
+        node: For,
+        states: List[SymState],
+        exited: List[SymState],
+        had_known: bool,
+    ) -> List[SymState]:
+        """Iterate a ``for`` body over the *unknown* tail of ``"$@"``:
+        each round forks "the tail ends here" from "one more unknown
+        value", bounded by ``max_loop`` like every other loop."""
+        finished: List[SymState] = []
+        pending = states
+        for round_idx in range(self.max_loop + 1):
+            next_pending: List[SymState] = []
+            for s in pending:
+                if s.halted:
+                    finished.append(s)
+                    continue
+                stop = self._fork(s, "for: $@ tail ends here")
+                if not had_known and round_idx == 0:
+                    # zero iterations total: `for` exits with status 0
+                    stop.status = 0
+                finished.append(stop)
+                if round_idx == self.max_loop:
+                    s.note("loop truncated at iteration bound")
+                    finished.append(s)
+                    continue
+                vid = s.store.fresh(label=f"${node.var} (from $@)")
+                s.set_var(node.var, SymString.var(vid))
+                next_pending.extend(
+                    self._route_loop_results(
+                        self.eval(node.body, s), next_pending, exited
+                    )
+                )
+            pending = self._prune(next_pending)
+            if not pending:
+                break
+        return finished
 
     def eval_case(self, node: Case, state: SymState) -> List[SymState]:
         results: List[SymState] = []
@@ -1221,6 +1314,7 @@ class Engine:
                     st.store.identity_key(),
                     st.bg_jobs,
                     st.loop_control,
+                    st.argv_unknown,
                 )
                 if key in merged:
                     self.paths_merged += 1
@@ -1270,9 +1364,27 @@ def _assigned_names(ast: Command) -> set:
                     text = word.literal_text() or ""
                     if text and not text.startswith("-"):
                         names.add(text.split("=", 1)[0])
+            if node.name == "getopts" and len(node.words) >= 3:
+                var = node.words[2].literal_text()
+                if var:
+                    names.add(var)
+                names.update(("OPTARG", "OPTIND"))
         elif isinstance(node, For):
             names.add(node.var)
     return names
+
+
+def _is_bare_at(words: Sequence[Word]) -> bool:
+    """True for a word list that is exactly ``"$@"`` / ``$@`` / ``"$*"``
+    — i.e. iterating the positional parameters themselves."""
+    if len(words) != 1 or len(words[0].parts) != 1:
+        return False
+    part = words[0].parts[0]
+    return (
+        isinstance(part, ParamPart)
+        and part.name in ("@", "*")
+        and part.op is None
+    )
 
 
 def _static_argv(stage: Command) -> Optional[List[str]]:

@@ -84,7 +84,13 @@ def expand_word_fields(
         and word.parts[0].name == "@"
         and word.parts[0].op is None
     ):
-        return [(state, list(state.params[1:]))]
+        fields = list(state.params[1:])
+        if state.argv_unknown:
+            # unknown argv: the known prefix plus one stand-in field for
+            # the unknown tail (an over-approximation of its join)
+            vid = state.store.fresh(label='"$@" (unknown tail)')
+            fields.append(SymString.var(vid))
+        return [(state, fields)]
     # per path: list of (value, splittable) chunks
     results: List[Tuple[SymState, List[Tuple[SymString, bool]]]] = [(state, [])]
     for part in word.parts:
@@ -476,6 +482,8 @@ def expand_command_sub(
         continuation = sub_state  # keep fs/store/diagnostics/notes
         continuation.env = dict(state.env)
         continuation.params = list(state.params)
+        continuation.argv_unknown = state.argv_unknown
+        continuation.argc_sym = state.argc_sym
         continuation.functions = dict(state.functions)
         continuation.cwd_node = state.cwd_node
         continuation.cwd_str = state.cwd_str

@@ -68,6 +68,8 @@ class SymState:
     __slots__ = (
         "env",
         "params",
+        "argv_unknown",
+        "argc_sym",
         "functions",
         "cwd_node",
         "cwd_str",
@@ -106,9 +108,20 @@ class SymState:
         bg_jobs: Tuple[BgJob, ...] = (),
         bg_launched: int = 0,
         loop_control: Optional[Tuple[str, int]] = None,
+        argv_unknown: bool = False,
+        argc_sym: Optional[SymString] = None,
     ):
         self.env = dict(env or {})
         self.params = list(params or [])
+        #: True when the positional parameters beyond the known prefix in
+        #: ``params`` are unknown at entry (POSIX start-up semantics: a
+        #: script's argv is whatever the caller passes, not concretely
+        #: empty).  ``$N`` past the prefix materialises lazily as a fresh
+        #: unconstrained variable, and ``$#`` is a symbolic count.
+        self.argv_unknown = argv_unknown
+        #: the memoised symbolic value of ``$#`` on this path (only while
+        #: ``argv_unknown``); reset whenever the count changes (shift)
+        self.argc_sym = argc_sym
         self.functions = dict(functions or {})
         self.fs = fs if fs is not None else FileSystem()
         self.store = store if store is not None else ConstraintStore()
@@ -156,6 +169,8 @@ class SymState:
             bg_jobs=self.bg_jobs,
             bg_launched=self.bg_launched,
             loop_control=self.loop_control,
+            argv_unknown=self.argv_unknown,
+            argc_sym=self.argc_sym,
         )
         if note:
             child.notes.append(note)
@@ -169,6 +184,14 @@ class SymState:
             idx = int(name)
             if idx < len(self.params):
                 return self.params[idx]
+            if self.argv_unknown and idx > 0:
+                # argv is unknown at entry: $N past the known prefix is a
+                # fresh, unconstrained value, memoised per path so later
+                # refinements (case arms, tests) stick
+                while len(self.params) <= idx:
+                    vid = self.store.fresh(label=f"${len(self.params)}")
+                    self.params.append(SymString.var(vid))
+                return self.params[idx]
             return None
         if name == "?":
             if self.status is None:
@@ -178,6 +201,13 @@ class SymState:
                 return SymString.var(vid)
             return SymString.lit(str(self.status))
         if name == "#":
+            if self.argv_unknown:
+                if self.argc_sym is None:
+                    vid = self.store.fresh(
+                        Regex.compile("0|[1-9][0-9]*"), label="$#"
+                    )
+                    self.argc_sym = SymString.var(vid)
+                return self.argc_sym
             return SymString.lit(str(max(0, len(self.params) - 1)))
         if name == "PWD":
             return self.cwd_str
@@ -188,10 +218,24 @@ class SymState:
                 if idx:
                     joined = joined + SymString.lit(" ")
                 joined = joined + param
+            if self.argv_unknown:
+                # the unknown tail: any string, including the empty one
+                vid = self.store.fresh(label=f'"${name}" (unknown tail)')
+                joined = joined + SymString.var(vid)
             return joined
         if name == "$":
             return SymString.lit("12345")  # a fixed abstract pid
         return self.env.get(name)
+
+    # -- positional parameters ----------------------------------------------
+
+    def set_params(self, values: List[SymString]) -> None:
+        """Replace the positional parameters ($1...) with known values
+        (``set -- a b c``); the count becomes concrete again."""
+        script = self.params[0] if self.params else SymString.lit("sh")
+        self.params = [script] + list(values)
+        self.argv_unknown = False
+        self.argc_sym = None
 
     def set_var(self, name: str, value: SymString) -> None:
         if name == "PWD":

@@ -26,6 +26,7 @@ WORDS = [
 ]
 PATTERNS = ["*.txt", "a|b", "[0-9]*", "yes", "*"]
 REDIRECTS = ["> /tmp/log", ">> out.txt", "2>/dev/null", "< file.txt", "2>&1"]
+OPTSTRINGS = ["ab:c", "xy", "f:o:", ":q"]
 
 
 class ScriptGen:
@@ -73,6 +74,7 @@ class ScriptGen:
                 lambda: self.case_stmt(depth),
                 lambda: self.subshell(depth),
                 lambda: self.background(),
+                lambda: self.getopts_loop(depth),
             ]
         return self.rng.choice(choices)()
 
@@ -104,8 +106,36 @@ class ScriptGen:
             f"while [ -e {self.word()} ]; do\n{self.block(depth + 1)}\ndone"
         )
 
+    def getopts_loop(self, depth: int) -> str:
+        """An option-parsing loop (the classic script prologue)."""
+        optstring = self.rng.choice(OPTSTRINGS)
+        var = self.rng.choice(["opt", "flag", "o"])
+        if self.rng.random() < 0.5:
+            letters = [c for c in optstring if c != ":"]
+            arms = "\n".join(
+                f"    {letter}) {self.simple()} ;;" for letter in letters
+            )
+            body = (
+                f'  case "${var}" in\n{arms}\n'
+                f"    ?) exit 2 ;;\n  esac"
+            )
+        else:
+            body = f"  {self.simple()}"
+        return (
+            f'while getopts "{optstring}" {var}; do\n{body}\ndone'
+        )
+
+    def argc_guard(self) -> str:
+        """The ubiquitous argument-count prologue guard."""
+        count = self.rng.randint(1, 3)
+        op = self.rng.choice(["-lt", "-ne", "-gt"])
+        action = self.rng.choice(
+            ["exit 1", 'echo "usage: $0" >&2; exit 1', "shift"]
+        )
+        return f'if [ "$#" {op} {count} ]; then {action}; fi'
+
     def case_stmt(self, depth: int) -> str:
-        subject = self.rng.choice(["$1", "$x", "$(uname)"])
+        subject = self.rng.choice(["$1", '"$1"', "$x", "$(uname)", '"$#"'])
         arms = []
         for _ in range(self.rng.randint(1, 3)):
             arms.append(
@@ -130,6 +160,9 @@ class ScriptGen:
         lines: List[str] = []
         if self.rng.random() < 0.5:
             lines.append("#!/bin/sh")
+        if self.rng.random() < 0.3:
+            # start like real scripts do: guard the argument count
+            lines.append(self.argc_guard())
         for _ in range(self.rng.randint(2, 8)):
             lines.append(self.statement(0))
         text = "\n".join(lines) + "\n"

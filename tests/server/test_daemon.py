@@ -1,0 +1,231 @@
+"""End-to-end daemon/client tests over a real Unix socket.
+
+Each test spins the daemon up on a socket in tmp_path with ``jobs=1``
+(no multiprocessing: sandbox-safe and fast) and talks to it through
+:class:`~repro.server.ServerClient`.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.analysis.batch import BatchConfig, run_batch
+from repro.analysis.cache import ResultCache
+from repro.obs import TraceRecorder
+from repro.server import (
+    AnalysisServer,
+    ServerClient,
+    ServerError,
+    ServerUnavailable,
+    Watcher,
+    server_available,
+)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A running daemon (warm cache dir, jobs=1) plus its socket path."""
+    socket_path = str(tmp_path / "served.sock")
+    server = AnalysisServer(
+        socket_path=socket_path,
+        jobs=1,
+        cache=ResultCache(str(tmp_path / "cache")),
+        recorder=TraceRecorder(),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not os.path.exists(socket_path):
+        if time.monotonic() > deadline:
+            pytest.fail("daemon socket never appeared")
+        time.sleep(0.01)
+    yield server
+    if thread.is_alive():
+        try:
+            ServerClient(socket_path).shutdown()
+        except (ServerUnavailable, ServerError):
+            pass
+        thread.join(timeout=5.0)
+
+
+def _corpus(tmp_path):
+    scripts = tmp_path / "scripts"
+    scripts.mkdir(exist_ok=True)
+    (scripts / "guard.sh").write_text(
+        'if [ "$#" -lt 1 ]; then exit 1; fi\necho "$1"\n'
+    )
+    (scripts / "danger.sh").write_text('rm -rf "$STEAMROOT/"*\n')
+    return str(scripts)
+
+
+class TestOps:
+    def test_ping(self, daemon):
+        result = ServerClient(daemon.socket_path).ping()
+        assert result["protocol"] == 1
+        assert result["pid"] == os.getpid() or result["pid"] > 0
+
+    def test_analyze_source(self, daemon):
+        report = ServerClient(daemon.socket_path).analyze_source(
+            'case "$1" in foo) echo hi;; esac\n'
+        )
+        assert not report.diagnostics
+
+    def test_analyze_source_cached_second_time(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        source = "echo one\n"
+        client.analyze_source(source)
+        result = client.request({"op": "analyze", "source": source, "config": {}})
+        assert result["cached"] is True
+
+    def test_analyze_path(self, daemon, tmp_path):
+        script = tmp_path / "one.sh"
+        script.write_text("rm -rf /\n")
+        result = ServerClient(daemon.socket_path).request(
+            {"op": "analyze", "path": str(script)}
+        )
+        codes = [d["code"] for d in result["report"]["diagnostics"]]
+        assert "dangerous-deletion" in codes
+
+    def test_batch_matches_inline_run(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        client_batch = ServerClient(daemon.socket_path).batch([corpus])
+        inline = run_batch([corpus], config=BatchConfig(), jobs=1, cache=None)
+        assert client_batch.render() == inline.render()
+
+    def test_batch_warm_is_all_hits_and_byte_identical(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        client = ServerClient(daemon.socket_path)
+        cold = client.batch([corpus])
+        warm = client.batch([corpus])
+        assert cold.misses == 2 and cold.hits == 0
+        assert warm.hits == 2 and warm.misses == 0
+        assert warm.render() == cold.render()
+
+    def test_warm_batch_does_zero_symbolic_execution(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        client = ServerClient(daemon.socket_path)
+        client.batch([corpus])
+        before = daemon.recorder.counter("batch.cache.miss")
+        client.batch([corpus])
+        assert daemon.recorder.counter("batch.cache.miss") == before
+
+    def test_stats_op(self, daemon, tmp_path):
+        client = ServerClient(daemon.socket_path)
+        client.batch([_corpus(tmp_path)])
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert stats["uptime_s"] >= 0
+        counters = stats["metrics"]["counters"]
+        assert counters.get("server.requests", 0) >= 1
+        assert counters.get("batch.files", 0) == 2
+
+    def test_unknown_op_is_an_error_response(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        with pytest.raises(ServerError):
+            client.request({"op": "frobnicate"})
+        # the connection survives the error
+        assert client.ping()["protocol"] == 1
+
+    def test_malformed_request_payload(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        with pytest.raises(ServerError):
+            client.request({"op": "analyze"})  # neither source nor path
+
+    def test_budget_clamped_to_server_cap(self, daemon):
+        # a client asking for an hour gets the server's ceiling instead
+        config = daemon._clamped(BatchConfig(timeout=3600.0))
+        assert config.timeout == daemon.cap_deadline
+        assert config.max_states == daemon.cap_states
+
+    def test_budget_smaller_request_respected(self, daemon):
+        config = daemon._clamped(BatchConfig(timeout=1.0, max_states=10))
+        assert config.timeout == 1.0
+        assert config.max_states == 10
+
+    def test_concurrent_requests(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        errors = []
+
+        def hit():
+            try:
+                ServerClient(daemon.socket_path).batch([corpus])
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+
+    def test_server_available_and_shutdown(self, daemon):
+        assert server_available(daemon.socket_path)
+        ServerClient(daemon.socket_path).shutdown()
+        deadline = time.monotonic() + 5.0
+        while server_available(daemon.socket_path):
+            if time.monotonic() > deadline:
+                pytest.fail("daemon did not stop")
+            time.sleep(0.02)
+
+
+class TestClientFallback:
+    def test_no_daemon_raises_server_unavailable(self, tmp_path):
+        with pytest.raises(ServerUnavailable):
+            ServerClient(str(tmp_path / "nothing.sock")).ping()
+
+    def test_server_available_false_without_daemon(self, tmp_path):
+        assert not server_available(str(tmp_path / "nothing.sock"))
+
+
+class TestWatcher:
+    def test_first_scan_reports_everything(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus])
+        assert len(watcher.scan()) == 2
+
+    def test_unchanged_scan_reports_nothing(self, tmp_path):
+        watcher = Watcher([_corpus(tmp_path)])
+        watcher.scan()
+        assert watcher.scan() == []
+
+    def test_modification_detected(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus])
+        watcher.scan()
+        target = os.path.join(corpus, "guard.sh")
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write("echo more\n")
+        changed = watcher.scan()
+        assert changed == [target]
+
+    def test_new_file_detected(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus])
+        watcher.scan()
+        new_path = os.path.join(corpus, "zz.sh")
+        with open(new_path, "w", encoding="utf-8") as handle:
+            handle.write("echo new\n")
+        assert watcher.scan() == [new_path]
+
+    def test_deleted_file_dropped_silently(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus])
+        watcher.scan()
+        os.unlink(os.path.join(corpus, "danger.sh"))
+        assert watcher.scan() == []
+
+    def test_watch_mode_warms_the_cache(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        daemon.start_watcher([corpus], interval=0.05)
+        client = ServerClient(daemon.socket_path)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            batch = client.batch([corpus])
+            if batch.hits == 2 and batch.misses == 0:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("watcher never warmed the cache")

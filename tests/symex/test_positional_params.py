@@ -1,0 +1,221 @@
+"""Regression tests for unknown-at-entry argv (POSIX start-up semantics).
+
+A script's positional parameters are whatever the caller passes — not
+concretely empty.  Modelling them as empty made the analyzer report
+`dead-case-branch` for every static arm of ``case "$1" in ...`` and mark
+everything after an ``if [ "$#" -lt 1 ]; then exit 1; fi`` prologue as
+unreachable: two always-fire false positives on the most common script
+idioms there are.
+"""
+
+from repro.analysis import analyze
+from repro.checkers import default_checkers
+from repro.symex import Engine
+
+
+def run(source, n_args=None, args=None):
+    return Engine(checkers=default_checkers()).run_script(
+        source, n_args=n_args, args=args
+    )
+
+
+class TestCaseArmFeasibility:
+    def test_case_on_dollar1_is_not_dead(self):
+        # the headline false positive: a literal arm on an unconstrained $1
+        report = analyze('case "$1" in foo) echo hi;; esac\n')
+        assert not report.diagnostics
+
+    def test_case_multiple_arms_not_dead(self):
+        report = analyze(
+            'case "$1" in start) echo s;; stop) echo t;; *) echo other;; esac\n'
+        )
+        assert [d for d in report.diagnostics if d.code == "dead-case-branch"] == []
+
+    def test_assigned_subject_still_reports_dead_arm(self):
+        # soundness check: a *known* subject keeps its dead-arm reporting
+        report = analyze('x=foo\ncase "$x" in bar) echo no;; esac\n')
+        assert any(d.code == "dead-case-branch" for d in report.diagnostics)
+
+    def test_concretized_argv_reports_dead_arm(self):
+        # --args re-concretizes argv: now the arm really is infeasible
+        report = analyze('case "$1" in foo) echo hi;; esac\n', args=["zap"])
+        assert any(d.code == "dead-case-branch" for d in report.diagnostics)
+
+    def test_concretized_argv_matching_arm_clean(self):
+        report = analyze('case "$1" in foo) echo hi;; esac\n', args=["foo"])
+        assert not report.diagnostics
+
+    def test_explicit_empty_argv_keeps_old_semantics(self):
+        # n_args=0 is the legacy "concretely no arguments" model
+        report = analyze('case "$1" in foo) echo hi;; esac\n', n_args=0)
+        assert any(d.code == "dead-case-branch" for d in report.diagnostics)
+
+    def test_set_concretizes_then_dead_arm(self):
+        report = analyze('set -- a b\ncase "$1" in c) echo no;; esac\n')
+        assert any(d.code == "dead-case-branch" for d in report.diagnostics)
+
+    def test_case_arm_refines_dollar1(self):
+        # inside the arm, $1 is known to match the pattern
+        result = run('case "$1" in foo) x=in;; esac\necho done\n')
+        assert result.states  # both took-arm and fell-through paths survive
+
+
+class TestArgcGuard:
+    def test_argc_guard_does_not_kill_the_script(self):
+        # the other headline false positive: the ubiquitous arg-count guard
+        report = analyze('if [ "$#" -lt 1 ]; then exit 1; fi\necho "$1"\n')
+        assert not report.diagnostics
+
+    def test_argc_guard_unreachable_with_explicit_zero(self):
+        report = analyze(
+            'if [ "$#" -lt 1 ]; then exit 1; fi\necho "$1"\n', n_args=0
+        )
+        assert any(d.code == "unreachable-command" for d in report.diagnostics)
+
+    def test_argc_is_concrete_with_explicit_count(self):
+        result = run("OUT=$#\n", n_args=2)
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"2"}
+
+    def test_argc_concrete_with_args(self):
+        result = run("OUT=$#\n", args=["a", "b", "c"])
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"3"}
+
+    def test_argc_symbolic_by_default(self):
+        result = run("OUT=$#\n")
+        for st in result.states:
+            value = st.get_var("OUT")
+            assert value is not None and value.concrete_value() is None
+
+
+class TestShiftAndSet:
+    def test_shift_loop_terminates_cleanly(self):
+        report = analyze('while [ "$#" -gt 0 ]; do echo "$1"; shift; done\n')
+        assert not report.diagnostics
+
+    def test_set_dashdash_concretizes(self):
+        result = run('set -- a b\nOUT=$#\n')
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"2"}
+
+    def test_set_dashdash_values(self):
+        result = run('set -- hello\nOUT=$1\n')
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"hello"}
+
+    def test_set_options_do_not_touch_argv(self):
+        result = run("set -e\nOUT=$#\n", n_args=2)
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"2"}
+
+    def test_shift_resets_symbolic_count(self):
+        # after a shift under unknown argv, $# must be a *fresh* unknown
+        result = run("A=$#\nshift\nB=$#\n")
+        for st in result.states:
+            a, b = st.get_var("A"), st.get_var("B")
+            assert a is not None and b is not None
+            assert a.single_var() != b.single_var()
+
+
+class TestDollarAtLoops:
+    def test_for_over_at_runs_zero_or_more(self):
+        # both "no args" and "some args" worlds must be explored
+        result = run('HIT=no\nfor a in "$@"; do HIT=yes; done\nOUT=$HIT\n')
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"no", "yes"}
+
+    def test_bare_for_iterates_argv(self):
+        result = run("HIT=no\nfor a; do HIT=yes; done\nOUT=$HIT\n")
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"no", "yes"}
+
+    def test_for_over_at_body_checks_fire(self):
+        result = run('for f in "$@"; do rm -rf "$f"; done\n')
+        assert result.has("dangerous-deletion")
+
+    def test_lazy_dollar_n_memoised_per_path(self):
+        # $2 materialises once per path: two reads agree
+        result = run("A=$2\nB=$2\n")
+        for st in result.states:
+            a, b = st.get_var("A"), st.get_var("B")
+            assert a.single_var() == b.single_var()
+
+    def test_known_count_preserved_in_functions(self):
+        # call argv has a known count even when script argv is unknown
+        result = run('f() { OUT=$#; }\nf one two\n')
+        values = {
+            st.get_var("OUT").concrete_value()
+            for st in result.states
+            if st.get_var("OUT") is not None
+        }
+        assert values == {"2"}
+
+
+class TestGetopts:
+    def test_getopts_is_known_and_binds_its_variable(self):
+        report = analyze('while getopts "ab:c" opt; do echo "$opt"; done\n')
+        assert not any(d.code == "unknown-command" for d in report.diagnostics)
+        assert not any(d.code == "env-variable" for d in report.diagnostics)
+
+    def test_getopts_case_dispatch_clean(self):
+        report = analyze(
+            'while getopts "ab:" opt; do\n'
+            "  case \"$opt\" in\n"
+            "    a) echo A;;\n"
+            "    b) echo \"$OPTARG\";;\n"
+            "    ?) exit 2;;\n"
+            "  esac\n"
+            "done\n"
+        )
+        assert not report.diagnostics
+
+    def test_getopts_dead_arm_for_unknown_letter(self):
+        # z is not in the optstring: its arm is infeasible
+        report = analyze(
+            'while getopts "ab" opt; do\n'
+            "  case \"$opt\" in\n"
+            "    z) echo impossible;;\n"
+            "  esac\n"
+            "done\n"
+        )
+        assert any(d.code == "dead-case-branch" for d in report.diagnostics)
+
+    def test_getopts_has_no_fs_effects(self):
+        result = run('getopts "a" opt\n')
+        for st in result.states:
+            assert not list(st.fs.log)
+
+    def test_getopts_optind_bound(self):
+        result = run('getopts "a" opt\nOUT=$OPTIND\n')
+        assert any(
+            st.get_var("OUT") is not None for st in result.states
+        )
