@@ -1,6 +1,13 @@
 """Shared fixtures for the experiment benchmarks (see DESIGN.md §4)."""
 
+import json
+import os
+
 import pytest
+
+#: where BENCH_*.json land: the repo root by default, so the perf
+#: trajectory is versioned alongside the code that produced it
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 FIG1 = """#!/bin/sh
 STEAMROOT="$(cd "${0%/*}" && echo $PWD)"
@@ -40,3 +47,31 @@ def emit(title, rows):
     print(f"\n### {title}")
     for row in rows:
         print("   " + row)
+
+
+def emit_json(name, payload, section=None):
+    """Merge machine-readable benchmark results into ``BENCH_<name>.json``.
+
+    Human-readable :func:`emit` rows vanish with the terminal; these
+    files make the perf trajectory durable — each benchmark run
+    overwrites its own section, and the diffs land in version control.
+    ``$REPRO_BENCH_DIR`` redirects the output (CI artifacts, scratch
+    runs).  Returns the path written.
+    """
+    directory = os.environ.get("REPRO_BENCH_DIR", REPO_ROOT)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            document = {}
+    if section is not None:
+        document[section] = payload
+    else:
+        document.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

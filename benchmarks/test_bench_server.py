@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.analysis import ResultCache
 from repro.obs import TraceRecorder
@@ -120,6 +120,18 @@ def test_warm_server_beats_cold_cli(corpus, daemon):
             f"warm hits: {warm_batch.hits}/{CORPUS_SIZE}",
         ],
     )
+    emit_json(
+        "server",
+        {
+            "corpus_files": CORPUS_SIZE,
+            "cold_cli_ms": round(cli_seconds * 1e3, 3),
+            "warm_server_ms": round(server_seconds * 1e3, 3),
+            "speedup_x": round(cli_seconds / max(server_seconds, 1e-9), 1),
+            "warm_hits": warm_batch.hits,
+            "warm_misses": warm_batch.misses,
+        },
+        section="warm_server_vs_cold_cli",
+    )
 
     # the acceptance bar: zero symbolic execution on the warm request
     assert warm_batch.hits == CORPUS_SIZE and warm_batch.misses == 0
@@ -144,4 +156,54 @@ def test_warm_server_latency_is_flat_in_corpus_cost(corpus, daemon):
             f"warm request: {warm_seconds * 1e3:.1f}ms",
         ],
     )
+    emit_json(
+        "server",
+        {
+            "cold_request_ms": round(cold_seconds * 1e3, 3),
+            "warm_request_ms": round(warm_seconds * 1e3, 3),
+            "warm_vs_cold_ratio": round(warm_seconds / max(cold_seconds, 1e-9), 4),
+        },
+        section="warm_vs_cold_request_same_daemon",
+    )
     assert warm_seconds < cold_seconds / 2
+
+
+def test_request_telemetry_overhead(daemon):
+    """The per-request envelope (request id + metrics snapshot) must not
+    dominate a minimal round trip: pings with telemetry suppressed vs
+    included bound the cost of request-scoped tracing itself."""
+    client = ServerClient(daemon.socket_path)
+    client.ping()  # connection + first-request warmup
+    rounds = 50
+
+    def ping_plain():
+        for _ in range(rounds):
+            client.request({"op": "ping", "telemetry": False})
+
+    def ping_telemetry():
+        for _ in range(rounds):
+            client.request({"op": "ping"})
+
+    _, plain = _timed(ping_plain)
+    _, with_telemetry = _timed(ping_telemetry)
+    per_request_us = (with_telemetry - plain) / rounds * 1e6
+    emit(
+        "E-ops (request-telemetry envelope overhead)",
+        [
+            f"{rounds} pings, telemetry off: {plain * 1e3:.1f}ms",
+            f"{rounds} pings, telemetry on:  {with_telemetry * 1e3:.1f}ms",
+            f"envelope cost: {per_request_us:.1f}us/request",
+        ],
+    )
+    emit_json(
+        "server",
+        {
+            "rounds": rounds,
+            "ping_plain_ms": round(plain * 1e3, 3),
+            "ping_telemetry_ms": round(with_telemetry * 1e3, 3),
+            "envelope_us_per_request": round(per_request_us, 2),
+        },
+        section="request_telemetry_overhead",
+    )
+    # generous bound: the envelope must stay far below one analysis
+    assert with_telemetry < plain * 10 + 0.5

@@ -209,11 +209,24 @@ def analyze_source(source: str, config: BatchConfig) -> dict:
     return analyze(source, budget=config.budget(), **config.analyze_kwargs()).to_dict()
 
 
-def _pool_worker(item: Tuple[str, str, BatchConfig]) -> Tuple[str, dict, float]:
-    path, source, config = item
+def _pool_worker(item: Tuple) -> Tuple[str, dict, float, Optional[dict]]:
+    """Pool body: analyze one file; when the parent's recorder is live
+    (``traced``), capture the worker-side metrics in a fresh recorder
+    and ship the snapshot back as a dict (snapshots are the only metric
+    type that crosses the process boundary — recorders don't pickle)."""
+    path, source, config = item[:3]
+    traced = item[3] if len(item) > 3 else False
     started = time.perf_counter()
-    data = analyze_source(source, config)
-    return path, data, time.perf_counter() - started
+    if not traced:
+        data = analyze_source(source, config)
+        return path, data, time.perf_counter() - started, None
+    from ..obs import TraceRecorder, use_thread_recorder
+
+    recorder = TraceRecorder()
+    with use_thread_recorder(recorder):
+        data = analyze_source(source, config)
+    seconds = time.perf_counter() - started
+    return path, data, seconds, recorder.snapshot().to_dict()
 
 
 def _make_pool(jobs: int):
@@ -361,16 +374,20 @@ def _drain_pool(
     executor = _make_pool(jobs) if own_pool else pool
     try:
         futures = [
-            executor.submit(_pool_worker, (path, source, config))
+            executor.submit(_pool_worker, (path, source, config, rec.enabled))
             for _, path, source, _ in pending
         ]
         for future, (_, path, source, _) in zip(futures, pending):
             try:
-                _, data, seconds = future.result()
+                _, data, seconds, worker_metrics = future.result()
             except Exception as exc:  # noqa: BLE001 — BrokenProcessPool et al.
                 rec.count("batch.worker_failures")
                 results.append(_retry_inline(path, source, config, rec, exc))
             else:
+                if worker_metrics:
+                    from ..obs import MetricsSnapshot
+
+                    rec.absorb(MetricsSnapshot.from_dict(worker_metrics))
                 results.append((data, seconds, False))
     finally:
         if own_pool:

@@ -6,6 +6,8 @@
 - ``repro-monitor``  — run a command under runtime stream monitoring
 - ``repro-verify``   — policy verification for curl-to-sh pipelines (§5)
 - ``repro-mine``     — mine a command's specification from documentation
+- ``repro-served``   — the resident analysis daemon
+- ``repro-top``      — live ops console for a running daemon
 
 Without a build step the same entry points are available as
 ``python -m repro.cli <tool> ...``.
@@ -510,11 +512,45 @@ def main_served(argv: Optional[List[str]] = None) -> int:
         metavar="SECS",
         help="watch-mode poll interval (default: 1s)",
     )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL ops events (request lifecycle, "
+        "slow requests, watch scans, errors) to this file",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum ops-log level (default: info)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a request.slow event for requests over this wall time "
+        "(default: 1000ms)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed requests beyond N concurrently in flight instead of "
+        "queueing them (default: 64)",
+    )
     _add_common_flags(parser)
     options = parser.parse_args(argv)
 
     from .server import default_socket_path, serve
-    from .server.daemon import DEFAULT_CAP_DEADLINE, DEFAULT_CAP_STATES
+    from .server.daemon import (
+        DEFAULT_CAP_DEADLINE,
+        DEFAULT_CAP_STATES,
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_SLOW_MS,
+    )
 
     socket_path = options.socket or default_socket_path()
     print(f"repro-served: listening on {socket_path}", file=sys.stderr)
@@ -523,6 +559,11 @@ def main_served(argv: Optional[List[str]] = None) -> int:
         from .obs import TraceRecorder
 
         recorder = TraceRecorder()
+    log = None
+    if options.log_file:
+        from .obs import OpsLogger
+
+        log = OpsLogger(options.log_file, level=options.log_level)
     try:
         server = serve(
             socket_path=socket_path,
@@ -540,6 +581,13 @@ def main_served(argv: Optional[List[str]] = None) -> int:
             watch=options.watch,
             interval=options.interval,
             recorder=recorder,
+            log=log,
+            slow_ms=options.slow_ms if options.slow_ms is not None else DEFAULT_SLOW_MS,
+            max_inflight=(
+                options.max_inflight
+                if options.max_inflight is not None
+                else DEFAULT_MAX_INFLIGHT
+            ),
         )
     except KeyboardInterrupt:
         print("repro-served: interrupted", file=sys.stderr)
@@ -565,6 +613,171 @@ def main_served(argv: Optional[List[str]] = None) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-top
+# ---------------------------------------------------------------------------
+
+
+def _format_ms(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}ms"
+
+
+def _render_top_frame(stats: dict, previous=None) -> str:
+    """One dashboard frame from a ``stats`` response.
+
+    ``previous`` is ``(counters, monotonic_time)`` from the prior poll;
+    when present, instantaneous rates are the counter deltas over the
+    elapsed interval (otherwise only lifetime averages are shown).
+    """
+    counters = stats.get("metrics", {}).get("counters", {})
+
+    def rate(name: str):
+        if previous is None:
+            return None
+        prev_counters, prev_time, now = previous
+        elapsed = now - prev_time
+        if elapsed <= 0:
+            return None
+        return (counters.get(name, 0) - prev_counters.get(name, 0)) / elapsed
+
+    def with_rate(count, name: str) -> str:
+        instant = rate(name)
+        return f"{count}" if instant is None else f"{count} ({instant:.1f}/s)"
+
+    uptime = stats.get("uptime_s", 0.0)
+    lines = [
+        f"repro-top — repro-served pid {stats.get('pid', '?')} "
+        f"v{stats.get('version', '?')} · uptime {uptime:.0f}s · "
+        f"protocol {stats.get('protocol', '?')}",
+        "",
+        "  requests "
+        + with_rate(stats.get("requests", 0), "server.requests")
+        + f" · avg {stats.get('request_rate_rps', 0.0):.2f}/s"
+        + f" · inflight {stats.get('inflight', 0)}/{stats.get('max_inflight', '?')}",
+        f"  errors {stats.get('errors', 0)} · shed {stats.get('shed', 0)} · "
+        f"slow(>{stats.get('slow_ms', 0):.0f}ms) {stats.get('slow_requests', 0)} · "
+        f"budget clamps {stats.get('budget_clamps', 0)}",
+    ]
+    hit_rate = stats.get("cache_hit_rate")
+    cache_pct = "-" if hit_rate is None else f"{100 * hit_rate:.1f}%"
+    pool_state = "alive" if stats.get("pool_alive") else "idle/none"
+    lines.append(
+        f"  cache {cache_pct} hit "
+        f"(hits {with_rate(stats.get('cache_hits', 0), 'batch.cache.hit')}, "
+        f"misses {with_rate(stats.get('cache_misses', 0), 'batch.cache.miss')}) · "
+        f"pool {stats.get('jobs', '?')} worker(s) [{pool_state}]"
+    )
+    lines.append(
+        f"  watch rounds {stats.get('watch_rounds', 0)} · "
+        f"watch stat errors {stats.get('watch_stat_errors', 0)} · "
+        f"truncations {counters.get('symex.truncations', 0)} · "
+        f"quarantined {counters.get('batch.quarantined', 0)}"
+    )
+    latency = stats.get("latency_ms", {})
+    if latency:
+        lines.append("")
+        lines.append(
+            f"  {'op':<12} {'n':>6} {'mean':>9} {'p50':>9} {'p95':>9} "
+            f"{'p99':>9} {'max':>9}"
+        )
+        for op in sorted(latency):
+            row = latency[op]
+            lines.append(
+                f"  {op:<12} {row.get('count', 0):>6} "
+                f"{_format_ms(row.get('mean_ms')):>9} "
+                f"{_format_ms(row.get('p50_ms')):>9} "
+                f"{_format_ms(row.get('p95_ms')):>9} "
+                f"{_format_ms(row.get('p99_ms')):>9} "
+                f"{_format_ms(row.get('max_ms')):>9}"
+            )
+    hot = [
+        name
+        for name in ("batch.files", "symex.states_explored", "server.pool_recreated")
+        if counters.get(name)
+    ]
+    if hot:
+        lines.append("")
+        for name in hot:
+            lines.append(f"  {name} {'.' * max(2, 34 - len(name))} "
+                         + with_rate(counters[name], name))
+    return "\n".join(lines)
+
+
+def main_top(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live ops console for a running repro-served daemon: "
+        "polls the stats op and renders request rates, per-op latency "
+        "quantiles, cache hit rate, and shed/error counts.",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="analysis-server socket (default: $REPRO_SERVER_SOCKET or a "
+        "per-user runtime path)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECS",
+        help="poll interval (default: 2s)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing; "
+        "scriptable)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the daemon's Prometheus text exposition and exit",
+    )
+    _add_common_flags(parser)
+    options = parser.parse_args(argv)
+
+    import time as time_mod
+
+    from .server import ServerClient, ServerError, ServerUnavailable
+
+    previous = None
+    while True:
+        try:
+            with ServerClient(options.socket, timeout=30.0) as client:
+                if options.metrics:
+                    print(client.metrics_text(), end="")
+                    return 0
+                while True:
+                    stats = client.stats()
+                    now = time_mod.monotonic()
+                    frame_history = (
+                        (previous[0], previous[1], now) if previous else None
+                    )
+                    frame = _render_top_frame(stats, frame_history)
+                    previous = (
+                        dict(stats.get("metrics", {}).get("counters", {})),
+                        now,
+                    )
+                    if not options.once:
+                        sys.stdout.write("\x1b[2J\x1b[H")
+                    print(frame)
+                    sys.stdout.flush()
+                    if options.once:
+                        return 0
+                    time_mod.sleep(options.interval)
+        except (ServerUnavailable, ServerError) as exc:
+            print(f"repro-top: {exc}", file=sys.stderr)
+            if options.once or options.metrics:
+                return 1
+            time_mod.sleep(options.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 # ---------------------------------------------------------------------------
@@ -607,6 +820,7 @@ _TOOLS = {
     "verify": main_verify,
     "mine": main_mine,
     "served": main_served,
+    "top": main_top,
 }
 
 

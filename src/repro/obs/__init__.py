@@ -27,6 +27,7 @@ Instrumented code never holds a recorder directly; it asks
 be swapped per invocation.
 """
 
+from .log import NullOpsLogger, OpsLogger
 from .metrics import Histogram, MetricsSnapshot
 from .recorder import (
     NullRecorder,
@@ -37,12 +38,15 @@ from .recorder import (
     set_recorder,
     traced,
     use_recorder,
+    use_thread_recorder,
 )
 
 __all__ = [
     "Histogram",
     "MetricsSnapshot",
+    "NullOpsLogger",
     "NullRecorder",
+    "OpsLogger",
     "Recorder",
     "SpanRecord",
     "TraceRecorder",
@@ -50,4 +54,5 @@ __all__ = [
     "set_recorder",
     "traced",
     "use_recorder",
+    "use_thread_recorder",
 ]

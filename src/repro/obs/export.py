@@ -1,19 +1,24 @@
 """Exporters for :class:`~repro.obs.TraceRecorder` data.
 
-Three views of the same run:
+Four views of the same run:
 
 - :func:`chrome_trace` — the Chrome trace-event JSON format (open
   ``chrome://tracing`` or https://ui.perfetto.dev and load the file);
 - :func:`render_tree` — a human-readable span tree for terminals;
 - :func:`render_stats` — a summary table of counters, histograms, and
-  per-span-name aggregate wall time (the ``--stats`` output).
+  per-span-name aggregate wall time (the ``--stats`` output);
+- :func:`prometheus_text` — the Prometheus text exposition format for
+  a :class:`~repro.obs.MetricsSnapshot` (the server's ``metrics`` op),
+  so any standard scraper can consume the daemon's counters.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional, Tuple
 
+from .metrics import MetricsSnapshot
 from .recorder import SpanRecord, TraceRecorder
 
 
@@ -121,3 +126,61 @@ def render_stats(recorder: TraceRecorder) -> str:
     if not lines:
         return "(no telemetry recorded)"
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A dotted internal metric name as a legal Prometheus identifier
+    (``batch.cache.hit`` -> ``repro_batch_cache_hit``)."""
+    flat = _METRIC_NAME_RE.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    return repr(float(value))
+
+
+def prometheus_text(
+    snapshot: MetricsSnapshot,
+    gauges: Optional[Dict[str, float]] = None,
+    prefix: str = "repro",
+) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total`` counter series;
+    histograms become summaries (quantile series plus ``_sum`` and
+    ``_count``); ``gauges`` carries point-in-time values the snapshot
+    doesn't (uptime, in-flight requests).  Output ends with a newline
+    as the format requires.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.counters):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot.counters[name]}")
+    for name in sorted(snapshot.histograms):
+        histogram = snapshot.histograms[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_prom_value(histogram.percentile(quantile * 100))}"
+            )
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    for name in sorted(gauges or {}):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauges[name])}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,120 @@
+"""Structured operations log: one JSON object per line.
+
+The analysis daemon is a long-running service; when something goes
+wrong at 3am the only artifact left is its log.  This logger is built
+for that job and nothing else:
+
+- **JSONL**: every event is one compact ``json.dumps`` line — greppable
+  with standard tools, parseable by any log pipeline, no multi-line
+  records to reassemble.
+- **Rotation-safe**: the file is opened in append mode *per event*
+  (one ``open``/``write``/``close``), so an external rotation
+  (``mv`` + recreate, logrotate) takes effect on the next event with
+  no signal handling; single ``write`` calls of one line keep
+  concurrent writers from interleaving mid-record.
+- **Levels**: ``debug < info < warning < error``; events below the
+  configured level are dropped before serialization.
+- **Never fatal**: a failed write (disk full, permission lost) is
+  swallowed — observability must not take the service down with it.
+
+Event vocabulary (the daemon's lifecycle, see :mod:`repro.server.daemon`):
+``server.start`` / ``server.stop``, ``request.accept`` /
+``request.done`` / ``request.error`` / ``request.shed`` /
+``request.slow``, ``watch.scan`` / ``watch.stat_error``, and
+``budget.clamp``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Optional
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class OpsLogger:
+    """Append structured events to a JSONL file (or any writable path).
+
+    ``clock`` is injectable for deterministic tests; it must return
+    seconds since the epoch.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        level: str = "info",
+        clock: Callable[[], float] = time.time,
+    ):
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+            )
+        self.path = path
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(self, event: str, level: str = "info", **fields: Any) -> Optional[dict]:
+        """Write one event; returns the record (or None when dropped).
+
+        ``fields`` must be JSON-serializable; anything that isn't is
+        stringified rather than raising (the log must never kill the
+        request it is describing).
+        """
+        if LEVELS.get(level, LEVELS["info"]) < self._threshold:
+            return None
+        record = {"ts": round(self._clock(), 6), "level": level, "event": event}
+        record.update(fields)
+        try:
+            line = json.dumps(record, separators=(",", ":"))
+        except (TypeError, ValueError):
+            record = {
+                key: value if _is_json_scalar(value) else repr(value)
+                for key, value in record.items()
+            }
+            line = json.dumps(record, separators=(",", ":"))
+        try:
+            with self._lock:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        except OSError:
+            pass
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Optional[dict]:
+        return self.emit(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> Optional[dict]:
+        return self.emit(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> Optional[dict]:
+        return self.emit(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> Optional[dict]:
+        return self.emit(event, level="error", **fields)
+
+
+class NullOpsLogger(OpsLogger):
+    """The default when no ``--log-file`` is given: drops everything."""
+
+    def __init__(self):  # noqa: D401 — deliberately not calling super
+        self.path = None
+        self.level = "info"
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, event: str, level: str = "info", **fields: Any) -> Optional[dict]:
+        return None
+
+
+def _is_json_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))

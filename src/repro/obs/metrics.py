@@ -1,20 +1,43 @@
 """Metric value types: counters are plain ints; histograms keep summary
-statistics (not raw samples) so unbounded workloads stay O(1) memory."""
+statistics plus a *bounded* sample reservoir, so unbounded workloads stay
+O(1) memory while ``describe()`` and the ops console can still report
+p50/p95/p99 instead of mean-only."""
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+#: reservoir capacity per histogram.  512 doubles is ~4KiB and gives a
+#: p99 estimate within a couple of rank positions at any stream length.
+RESERVOIR_SIZE = 512
+
+#: fixed PRNG seed: reservoir contents are deterministic for a given
+#: observation sequence, which keeps tests and benchmark JSON stable.
+_RESERVOIR_SEED = 0x5EED
 
 
 @dataclass
 class Histogram:
-    """Streaming summary of an observed distribution."""
+    """Streaming summary of an observed distribution.
+
+    Exact ``count``/``total``/``min``/``max`` plus a bounded reservoir
+    (Vitter's algorithm R with a fixed seed) backing
+    :meth:`percentile`.  Quantiles are therefore estimates once more
+    than :data:`RESERVOIR_SIZE` values have been observed; everything
+    else is exact.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: Optional[float] = None
     maximum: Optional[float] = None
+    samples: List[float] = field(default_factory=list)
+    _rng: Optional[random.Random] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -23,12 +46,40 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
+        else:
+            if self._rng is None:
+                self._rng = random.Random(_RESERVOIR_SEED)
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (``q`` in [0, 100]) from the reservoir,
+        by linear interpolation between closest ranks; None when no
+        values have been observed."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
     def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in, preserving reservoir samples.  When the
+        combined reservoirs overflow the cap, a deterministic stride
+        subsample keeps a cross-section of both sides."""
         self.count += other.count
         self.total += other.total
         for bound in (other.minimum, other.maximum):
@@ -38,19 +89,58 @@ class Histogram:
                 self.minimum = bound
             if self.maximum is None or bound > self.maximum:
                 self.maximum = bound
+        combined = self.samples + list(other.samples)
+        if len(combined) > RESERVOIR_SIZE:
+            stride = len(combined) / RESERVOIR_SIZE
+            combined = [
+                combined[min(int(i * stride), len(combined) - 1)]
+                for i in range(RESERVOIR_SIZE)
+            ]
+        self.samples = combined
+
+    def copy(self) -> "Histogram":
+        return Histogram(
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            samples=list(self.samples),
+        )
 
     def describe(self) -> str:
         if not self.count:
             return "n=0"
-        return (
+        text = (
             f"n={self.count} mean={self.mean:.2f} "
             f"min={self.minimum:g} max={self.maximum:g}"
         )
+        if len(self.samples) > 1:
+            text += (
+                f" p50={self.percentile(50):g}"
+                f" p95={self.percentile(95):g}"
+                f" p99={self.percentile(99):g}"
+            )
+        return text
+
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """The standard ops quantile set (for stats tables and JSON)."""
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 @dataclass
 class MetricsSnapshot:
-    """A point-in-time copy of a recorder's counters and histograms."""
+    """A point-in-time copy of a recorder's counters and histograms.
+
+    Snapshots are the unit of metric *transport*: workers ship them
+    across the process-pool boundary, the analysis server folds one per
+    request into its totals, and the ``stats`` op serializes them over
+    the wire — so :meth:`to_dict`/:meth:`from_dict` must round-trip
+    everything, reservoir samples included.
+    """
 
     counters: Dict[str, int] = field(default_factory=dict)
     histograms: Dict[str, Histogram] = field(default_factory=dict)
@@ -65,8 +155,12 @@ class MetricsSnapshot:
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.get(name, Histogram())
+
     def to_dict(self) -> dict:
-        """JSON-serializable form (the analysis server's ``stats`` op)."""
+        """JSON-serializable form (the analysis server's ``stats`` op
+        and the pool-worker return path)."""
         return {
             "counters": dict(self.counters),
             "histograms": {
@@ -75,6 +169,7 @@ class MetricsSnapshot:
                     "total": h.total,
                     "min": h.minimum,
                     "max": h.maximum,
+                    "samples": list(h.samples),
                 }
                 for name, h in self.histograms.items()
             },
@@ -90,6 +185,7 @@ class MetricsSnapshot:
                     total=h.get("total", 0.0),
                     minimum=h.get("min"),
                     maximum=h.get("max"),
+                    samples=list(h.get("samples", [])),
                 )
                 for name, h in data.get("histograms", {}).items()
             },

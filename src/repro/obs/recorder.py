@@ -84,6 +84,14 @@ class Recorder:
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot()
 
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot's counters/histograms in (no-op when disabled).
+
+        This is how metrics cross execution boundaries: pool workers
+        return a snapshot instead of mutating a recorder they don't
+        share, and the server folds per-request recorders into totals.
+        """
+
 
 class NullRecorder(Recorder):
     """The default recorder: records nothing, costs ~nothing."""
@@ -126,6 +134,7 @@ class TraceRecorder(Recorder):
         self.histograms: Dict[str, Histogram] = {}
         self._local = threading.local()
         self._roots_lock = threading.Lock()
+        self._absorb_lock = threading.Lock()
 
     # -- spans --------------------------------------------------------------
 
@@ -193,10 +202,22 @@ class TraceRecorder(Recorder):
         return MetricsSnapshot(
             counters=dict(self.counters),
             histograms={
-                name: Histogram(h.count, h.total, h.minimum, h.maximum)
-                for name, h in self.histograms.items()
+                name: h.copy() for name, h in self.histograms.items()
             },
         )
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Merge a snapshot's counters and histograms into this
+        recorder (spans don't transfer: a long-lived recorder absorbing
+        per-request snapshots keeps bounded memory)."""
+        with self._absorb_lock:
+            for name, value in snapshot.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, histogram in snapshot.histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = self.histograms[name] = Histogram()
+                mine.merge(histogram)
 
     # -- rendering (delegates; import is lazy to keep this module light) ----
 
@@ -222,10 +243,19 @@ class TraceRecorder(Recorder):
 
 _NULL = NullRecorder()
 _current: Recorder = _NULL
+_tls = threading.local()
 
 
 def get_recorder() -> Recorder:
-    """The currently active recorder (the no-op recorder by default)."""
+    """The currently active recorder (the no-op recorder by default).
+
+    A thread-local override (see :func:`use_thread_recorder`) wins over
+    the process-global recorder: the analysis server uses it to give
+    every concurrently-handled request its own recorder without the
+    requests clobbering each other."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
     return _current
 
 
@@ -245,6 +275,25 @@ def use_recorder(recorder: Recorder):
         yield recorder
     finally:
         set_recorder(previous)
+
+
+@contextmanager
+def use_thread_recorder(recorder: Recorder):
+    """Scoped installation visible only to the *current thread*.
+
+    Unlike :func:`use_recorder` (a process-global swap), this override
+    isolates concurrent request handlers from one another: each server
+    thread records into its own request-scoped recorder while other
+    threads keep seeing theirs (or the global default).
+    """
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(recorder)
+    try:
+        yield recorder
+    finally:
+        stack.pop()
 
 
 def traced(name=None, **attrs):

@@ -29,11 +29,20 @@ class ServerError(Exception):
 
 
 class ServerClient:
-    """One connection to a running daemon; usable as a context manager."""
+    """One connection to a running daemon; usable as a context manager.
+
+    After every round trip the envelope's observability fields are kept
+    on the client (``last_request_id``, ``last_elapsed_ms``,
+    ``last_metrics``), so callers can attribute server-side cost to the
+    exact request they just made without a second ``stats`` call.
+    """
 
     def __init__(self, socket_path: Optional[str] = None, timeout: Optional[float] = 300.0):
         self.socket_path = socket_path or protocol.default_socket_path()
         self.timeout = timeout
+        self.last_request_id: Optional[str] = None
+        self.last_elapsed_ms: Optional[float] = None
+        self.last_metrics: Optional[dict] = None
         self._sock: Optional[socket.socket] = None
         self._file = None
 
@@ -90,6 +99,9 @@ class ServerClient:
         if response is None:
             self.close()
             raise ServerUnavailable("analysis server closed the connection")
+        self.last_request_id = response.get("request_id")
+        self.last_elapsed_ms = response.get("elapsed_ms")
+        self.last_metrics = response.get("metrics")
         if not response.get("ok"):
             raise ServerError(response.get("error", "unknown server error"))
         return response.get("result")
@@ -99,6 +111,10 @@ class ServerClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def metrics_text(self) -> str:
+        """The daemon's totals in Prometheus text exposition format."""
+        return self.request({"op": "metrics"})["text"]
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

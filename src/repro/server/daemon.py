@@ -20,15 +20,35 @@ survives between requests.  Every request runs under a clamped
 for less time than the server cap, never more — so one pathological
 script cannot wedge the daemon for other clients.
 
-Telemetry: ``server.requests`` / ``server.errors`` counters,
-``server.<op>`` spans per request, and the ``stats`` op ships the
-recorder's full metrics snapshot (including the ``batch.cache.*``
-counters that make "the warm path did no symbolic execution"
-observable).
+Observability (the production-service layer):
+
+- **Request-scoped telemetry.**  Every request gets a request id and
+  its own :class:`~repro.obs.TraceRecorder`, installed thread-locally
+  so concurrent requests cannot contaminate each other; worker-side
+  metric snapshots from the process pool are folded in, the request's
+  snapshot is returned in the response envelope (``request_id``,
+  ``elapsed_ms``, ``metrics``), and then absorbed into the server's
+  totals — so per-request metrics always sum consistently into the
+  ``stats`` op, and the long-lived recorder's memory stays bounded
+  (snapshots carry no spans).
+- **Structured ops log.**  ``--log-file`` appends one JSON object per
+  event: request lifecycle (``request.accept`` / ``request.done`` /
+  ``request.error`` / ``request.shed``), slow requests over
+  ``--slow-ms`` (``request.slow``), watch-loop rescans and stat
+  failures, budget clamps, and daemon start/stop.
+- **Metrics exposition.**  The extended ``stats`` op reports uptime,
+  request rates, per-op latency quantiles, cache hit rate, pool state,
+  and clamp/shed/error counts; the ``metrics`` op serves the same
+  totals in the Prometheus text format; ``repro-top`` renders either
+  as a live console.
+- **Load shedding.**  At most ``max_inflight`` requests run at once;
+  excess requests are answered immediately with a structured shed
+  error instead of queueing behind a saturated pool.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import socketserver
 import threading
@@ -40,7 +60,15 @@ from .. import __version__
 from ..analysis.batch import BatchConfig, _make_pool, run_batch
 from ..analysis.cache import ResultCache, cache_key
 from ..analysis.resilience import clamped_budget
-from ..obs import TraceRecorder, use_recorder
+from ..obs import (
+    MetricsSnapshot,
+    NullOpsLogger,
+    OpsLogger,
+    TraceRecorder,
+    use_recorder,
+    use_thread_recorder,
+)
+from ..obs.export import prometheus_text
 from . import protocol
 from .watch import Watcher
 
@@ -48,14 +76,22 @@ from .watch import Watcher
 DEFAULT_CAP_DEADLINE = 30.0
 DEFAULT_CAP_STATES = 2_000_000
 
+#: requests slower than this (wall-clock ms) get a ``request.slow``
+#: log event and bump ``server.slow_requests``
+DEFAULT_SLOW_MS = 1000.0
+
+#: concurrent-request ceiling; excess requests are shed with a
+#: structured error rather than queued behind a saturated pool
+DEFAULT_MAX_INFLIGHT = 64
+
 
 class AnalysisServer:
     """The long-lived analysis service behind the socket.
 
     Owns the warm state (result cache, persistent process pool, the
-    recorder) and implements every protocol op as a method; the socket
-    layer (:class:`_SocketServer`) is a thin threaded shell around
-    :meth:`handle_request`.
+    totals recorder, the ops log) and implements every protocol op as a
+    method; the socket layer (:class:`_SocketServer`) is a thin
+    threaded shell around :meth:`handle_request`.
     """
 
     def __init__(
@@ -66,6 +102,9 @@ class AnalysisServer:
         cap_deadline: float = DEFAULT_CAP_DEADLINE,
         cap_states: int = DEFAULT_CAP_STATES,
         recorder: Optional[TraceRecorder] = None,
+        log: Optional[OpsLogger] = None,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
     ):
         self.socket_path = socket_path or protocol.default_socket_path()
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -73,8 +112,14 @@ class AnalysisServer:
         self.cap_deadline = cap_deadline
         self.cap_states = cap_states
         self.recorder = recorder or TraceRecorder()
+        self.log = log or NullOpsLogger()
+        self.slow_ms = slow_ms
+        self.max_inflight = max_inflight
         self.started_at = time.monotonic()
         self.requests_served = 0
+        self.inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._request_seq = itertools.count(1)
         self._pool = None
         self._pool_lock = threading.Lock()
         self._server: Optional[_SocketServer] = None
@@ -106,7 +151,10 @@ class AnalysisServer:
             if pool is not None and getattr(pool, "_broken", False):
                 pool.shutdown(wait=False)
                 pool = self._pool = None
-                self.recorder.count("server.pool_recreated")
+                self.recorder.absorb(
+                    MetricsSnapshot(counters={"server.pool_recreated": 1})
+                )
+                self.log.warning("server.pool_recreated")
             if pool is None:
                 try:
                     pool = self._pool = _make_pool(self.jobs)
@@ -114,45 +162,164 @@ class AnalysisServer:
                     return None
             return pool
 
-    def _clamped(self, config: BatchConfig) -> BatchConfig:
-        """The request's config with its budget clamped to server caps."""
+    def pool_alive(self) -> bool:
+        """Whether a persistent pool currently exists and is usable."""
+        with self._pool_lock:
+            return self._pool is not None and not getattr(
+                self._pool, "_broken", False
+            )
+
+    def _clamped(self, config: BatchConfig, request_id: Optional[str] = None) -> BatchConfig:
+        """The request's config with its budget clamped to server caps;
+        a request that asked for *more* than the cap is counted and
+        logged (``budget.clamp``) so over-asking tenants are visible."""
         budget = clamped_budget(
             config.timeout,
             config.max_states,
             cap_deadline=self.cap_deadline,
             cap_states=self.cap_states,
         )
+        over_deadline = (
+            config.timeout is not None and config.timeout > self.cap_deadline
+        )
+        over_states = (
+            config.max_states is not None and config.max_states > self.cap_states
+        )
+        if over_deadline or over_states:
+            from ..obs import get_recorder
+
+            get_recorder().count("server.budget_clamped")
+            self.log.info(
+                "budget.clamp",
+                request_id=request_id,
+                requested_timeout=config.timeout,
+                requested_max_states=config.max_states,
+                cap_deadline=self.cap_deadline,
+                cap_states=self.cap_states,
+            )
         return replace(
             config, timeout=budget.deadline, max_states=budget.max_states
         )
 
     # -- ops ----------------------------------------------------------------
 
+    def _next_request_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._request_seq):06d}"
+
     def handle_request(self, message: dict) -> dict:
-        """Dispatch one request; never raises (errors become responses)."""
+        """Dispatch one request; never raises (errors become responses).
+
+        The whole request runs under its own thread-local recorder; the
+        resulting snapshot rides back in the response envelope and is
+        absorbed into the server totals, so client-visible per-request
+        metrics and the ``stats`` op always agree.
+        """
         op = message.get("op")
+        request_id = self._next_request_id()
+        started = time.perf_counter()
         self.requests_served += 1
-        with use_recorder(self.recorder):
-            self.recorder.count("server.requests")
-            try:
-                if op == "ping":
-                    return protocol.ok(self._op_ping())
-                if op == "analyze":
-                    with self.recorder.span("server.analyze"):
-                        return protocol.ok(self._op_analyze(message))
-                if op == "batch":
-                    with self.recorder.span("server.batch"):
-                        return protocol.ok(self._op_batch(message))
-                if op == "stats":
-                    return protocol.ok(self._op_stats())
-                if op == "shutdown":
-                    self._initiate_shutdown()
-                    return protocol.ok({"stopping": True})
-                self.recorder.count("server.errors")
-                return protocol.error(f"unknown op: {op!r}")
-            except Exception as exc:  # noqa: BLE001 — the daemon must survive
-                self.recorder.count("server.errors")
-                return protocol.error(f"{type(exc).__name__}: {exc}")
+
+        with self._inflight_lock:
+            shed = self.inflight >= self.max_inflight
+            if not shed:
+                self.inflight += 1
+        if shed:
+            return self._shed_response(op, request_id, started)
+
+        request_recorder = TraceRecorder()
+        self.log.debug("request.accept", request_id=request_id, op=op)
+        error_text: Optional[str] = None
+        result = None
+        try:
+            with use_thread_recorder(request_recorder):
+                request_recorder.count("server.requests")
+                request_recorder.count(f"server.op.{op or 'unknown'}")
+                try:
+                    if op == "ping":
+                        result = self._op_ping()
+                    elif op == "analyze":
+                        with request_recorder.span("server.analyze"):
+                            result = self._op_analyze(message, request_id)
+                    elif op == "batch":
+                        with request_recorder.span("server.batch"):
+                            result = self._op_batch(message, request_id)
+                    elif op == "stats":
+                        result = self._op_stats()
+                    elif op == "metrics":
+                        result = self._op_metrics()
+                    elif op == "shutdown":
+                        self._initiate_shutdown()
+                        result = {"stopping": True}
+                    else:
+                        request_recorder.count("server.errors")
+                        error_text = f"unknown op: {op!r}"
+                except Exception as exc:  # noqa: BLE001 — the daemon must survive
+                    request_recorder.count("server.errors")
+                    error_text = f"{type(exc).__name__}: {exc}"
+                    self.log.error(
+                        "request.error",
+                        request_id=request_id,
+                        op=op,
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+        finally:
+            with self._inflight_lock:
+                self.inflight -= 1
+
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        request_recorder.observe("server.request_ms", elapsed_ms)
+        request_recorder.observe(f"server.request_ms.{op or 'unknown'}", elapsed_ms)
+        if elapsed_ms >= self.slow_ms:
+            request_recorder.count("server.slow_requests")
+            self.log.warning(
+                "request.slow",
+                request_id=request_id,
+                op=op,
+                elapsed_ms=round(elapsed_ms, 3),
+                threshold_ms=self.slow_ms,
+            )
+        snapshot = request_recorder.snapshot()
+        self.recorder.absorb(snapshot)
+
+        if error_text is None:
+            envelope = protocol.ok(result)
+            self.log.info(
+                "request.done",
+                request_id=request_id,
+                op=op,
+                elapsed_ms=round(elapsed_ms, 3),
+                cached=result.get("cached") if isinstance(result, dict) else None,
+            )
+        else:
+            envelope = protocol.error(error_text)
+        envelope["request_id"] = request_id
+        envelope["elapsed_ms"] = elapsed_ms
+        if message.get("telemetry", True):
+            envelope["metrics"] = snapshot.to_dict()
+        return envelope
+
+    def _shed_response(self, op, request_id: str, started: float) -> dict:
+        """Immediate structured refusal when the daemon is saturated."""
+        self.recorder.absorb(
+            MetricsSnapshot(
+                counters={"server.requests": 1, "server.shed": 1}
+            )
+        )
+        self.log.warning(
+            "request.shed",
+            request_id=request_id,
+            op=op,
+            max_inflight=self.max_inflight,
+        )
+        envelope = protocol.error(
+            f"server overloaded: {self.max_inflight} request(s) already in "
+            "flight; retry later"
+        )
+        envelope["request_id"] = request_id
+        envelope["shed"] = True
+        envelope["elapsed_ms"] = (time.perf_counter() - started) * 1000.0
+        return envelope
 
     def _op_ping(self) -> dict:
         return {
@@ -161,10 +328,11 @@ class AnalysisServer:
             "pid": os.getpid(),
         }
 
-    def _op_analyze(self, message: dict) -> dict:
+    def _op_analyze(self, message: dict, request_id: Optional[str] = None) -> dict:
         """One script, by inline ``source`` or by ``path``."""
         from ..analysis import analyze
         from ..analysis.report import Report
+        from ..obs import get_recorder
 
         source = message.get("source")
         if source is None:
@@ -173,14 +341,17 @@ class AnalysisServer:
                 raise ValueError("analyze request needs 'source' or 'path'")
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-        config = self._clamped(protocol.config_from_wire(message.get("config")))
+        config = self._clamped(
+            protocol.config_from_wire(message.get("config")), request_id
+        )
         key = cache_key(source, config.fingerprint())
+        recorder = get_recorder()
         if self.cache is not None:
             data = self.cache.get(key)
             if data is not None:
-                self.recorder.count("batch.cache.hit")
+                recorder.count("batch.cache.hit")
                 return {"report": data, "cached": True}
-            self.recorder.count("batch.cache.miss")
+            recorder.count("batch.cache.miss")
         report = analyze(source, budget=config.budget(), **config.analyze_kwargs())
         data = report.to_dict()
         if self.cache is not None and not report.degraded:
@@ -189,11 +360,13 @@ class AnalysisServer:
         # byte-identical to the inline path
         return {"report": Report.from_dict(data).to_dict(), "cached": False}
 
-    def _op_batch(self, message: dict) -> dict:
+    def _op_batch(self, message: dict, request_id: Optional[str] = None) -> dict:
         inputs = message.get("inputs")
         if not isinstance(inputs, list) or not inputs:
             raise ValueError("batch request needs a non-empty 'inputs' list")
-        config = self._clamped(protocol.config_from_wire(message.get("config")))
+        config = self._clamped(
+            protocol.config_from_wire(message.get("config")), request_id
+        )
         batch = run_batch(
             inputs,
             config=config,
@@ -217,16 +390,67 @@ class AnalysisServer:
         }
 
     def _op_stats(self) -> dict:
+        """The full operational picture: identity, uptime and rates,
+        per-op latency quantiles, cache hit rate, pool and shed state,
+        plus the raw metrics snapshot for programmatic consumers."""
+        snapshot = self.recorder.snapshot()
+        uptime = time.monotonic() - self.started_at
+        hits = snapshot.counter("batch.cache.hit")
+        misses = snapshot.counter("batch.cache.miss")
+        lookups = hits + misses
+        latency = {}
+        prefix = "server.request_ms."
+        for name, histogram in sorted(snapshot.histograms.items()):
+            if not name.startswith(prefix):
+                continue
+            quantiles = histogram.quantiles()
+            latency[name[len(prefix):]] = {
+                "count": histogram.count,
+                "mean_ms": histogram.mean,
+                "p50_ms": quantiles["p50"],
+                "p95_ms": quantiles["p95"],
+                "p99_ms": quantiles["p99"],
+                "max_ms": histogram.maximum,
+            }
         return {
             "version": __version__,
             "protocol": protocol.PROTOCOL_VERSION,
             "pid": os.getpid(),
-            "uptime_s": time.monotonic() - self.started_at,
+            "uptime_s": uptime,
             "requests": self.requests_served,
+            "request_rate_rps": self.requests_served / uptime if uptime else 0.0,
+            "errors": snapshot.counter("server.errors"),
+            "shed": snapshot.counter("server.shed"),
+            "slow_requests": snapshot.counter("server.slow_requests"),
+            "budget_clamps": snapshot.counter("server.budget_clamped"),
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "slow_ms": self.slow_ms,
             "jobs": self.jobs,
+            "pool_alive": self.pool_alive(),
             "cache": self.cache is not None,
-            "metrics": self.recorder.snapshot().to_dict(),
+            "cache_hit_rate": hits / lookups if lookups else None,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "watch_rounds": snapshot.counter("server.watch_rounds"),
+            "watch_stat_errors": snapshot.counter("watch.stat_errors"),
+            "latency_ms": latency,
+            "metrics": snapshot.to_dict(),
         }
+
+    def _op_metrics(self) -> dict:
+        """Server totals in the Prometheus text exposition format."""
+        text = prometheus_text(
+            self.recorder.snapshot(),
+            gauges={
+                "server.uptime_seconds": time.monotonic() - self.started_at,
+                "server.inflight_requests": self.inflight,
+                "server.max_inflight_requests": self.max_inflight,
+                "server.pool_workers": self.jobs,
+                "server.pool_alive": 1.0 if self.pool_alive() else 0.0,
+            },
+        )
+        return {"text": text, "content_type": "text/plain; version=0.0.4"}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -241,24 +465,32 @@ class AnalysisServer:
         """Watch mode: poll ``inputs`` for new/modified scripts and
         re-analyze them as they change, keeping the result cache warm so
         the *next* client request over those files is all cache hits."""
-        watcher = Watcher(inputs)
+        watcher = Watcher(inputs, log=self.log)
 
         def loop() -> None:
             while not self._watcher_stop.wait(interval):
-                changed = watcher.scan()
-                if not changed:
-                    continue
-                with use_recorder(self.recorder):
-                    self.recorder.count("server.watch_rounds")
-                    self.recorder.count("server.watch_files", len(changed))
-                    with self.recorder.span("server.watch"):
-                        run_batch(
-                            changed,
-                            config=self._clamped(BatchConfig()),
-                            jobs=self.jobs,
-                            cache=self.cache,
-                            pool=self._get_pool(),
+                round_recorder = TraceRecorder()
+                with use_thread_recorder(round_recorder):
+                    changed = watcher.scan()
+                    if changed:
+                        round_recorder.count("server.watch_rounds")
+                        round_recorder.count("server.watch_files", len(changed))
+                        with round_recorder.span("server.watch"):
+                            run_batch(
+                                changed,
+                                config=self._clamped(BatchConfig()),
+                                jobs=self.jobs,
+                                cache=self.cache,
+                                pool=self._get_pool(),
+                            )
+                        self.log.info(
+                            "watch.scan",
+                            changed=len(changed),
+                            paths=changed[:20],
                         )
+                snapshot = round_recorder.snapshot()
+                if snapshot.counters or snapshot.histograms:
+                    self.recorder.absorb(snapshot)
 
         thread = threading.Thread(target=loop, name="repro-watch", daemon=True)
         thread.start()
@@ -272,6 +504,14 @@ class AnalysisServer:
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)  # stale socket from a dead daemon
         self._server = _SocketServer(self.socket_path, self)
+        self.log.info(
+            "server.start",
+            socket=self.socket_path,
+            pid=os.getpid(),
+            version=__version__,
+            jobs=self.jobs,
+            max_inflight=self.max_inflight,
+        )
         try:
             self._server.serve_forever(poll_interval=0.1)
         finally:
@@ -282,6 +522,11 @@ class AnalysisServer:
         server, self._server = self._server, None
         if server is not None:
             server.server_close()
+            self.log.info(
+                "server.stop",
+                requests=self.requests_served,
+                uptime_s=round(time.monotonic() - self.started_at, 3),
+            )
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
@@ -337,6 +582,9 @@ def serve(
     watch: Optional[List[str]] = None,
     interval: float = 1.0,
     recorder: Optional[TraceRecorder] = None,
+    log: Optional[OpsLogger] = None,
+    slow_ms: float = DEFAULT_SLOW_MS,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
 ) -> AnalysisServer:
     """Build, warm, and run a daemon (the ``repro-served`` body).
 
@@ -350,6 +598,9 @@ def serve(
         cap_deadline=cap_deadline,
         cap_states=cap_states,
         recorder=recorder,
+        log=log,
+        slow_ms=slow_ms,
+        max_inflight=max_inflight,
     )
     server.warm()
     if watch:

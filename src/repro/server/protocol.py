@@ -15,14 +15,30 @@ Requests are objects with an ``op`` field:
 - ``{"op": "batch", "inputs": [...], "config": {...}}`` — files,
   directories, and glob patterns, exactly like ``repro-analyze``'s
   positional arguments; response carries per-file serialized reports
-- ``{"op": "stats"}`` — server uptime, request counts, and a metrics
-  snapshot from the daemon's recorder
+- ``{"op": "stats"}`` — the operational picture: uptime, request
+  rates, per-op latency quantiles, cache hit rate, pool/shed/clamp
+  state, and a metrics snapshot of the daemon's totals
+- ``{"op": "metrics"}`` — the same totals as Prometheus text
+  exposition (``result.text``), for scrapers and ``repro-top``
 - ``{"op": "shutdown"}`` — acknowledge, then stop serving
 
 Responses are ``{"ok": true, "result": ...}`` or
-``{"ok": false, "error": "..."}``.  The server never closes the
-connection in response to a malformed request — it answers with an
-error so interactive clients can recover.
+``{"ok": false, "error": "..."}``.  Every response envelope also
+carries *additive* observability fields (same protocol version — old
+clients simply ignore them):
+
+- ``request_id`` — the server-assigned id for this request; every log
+  event and metric attribution uses it
+- ``elapsed_ms`` — server-side wall time for the request
+- ``metrics`` — the request-scoped
+  :class:`~repro.obs.MetricsSnapshot` as a dict (where *this* request
+  spent its time: symex counters, cache hits, worker metrics folded in
+  across the pool boundary).  Suppressed when the request carries
+  ``"telemetry": false``.
+- ``shed: true`` — on error responses produced by load shedding
+
+The server never closes the connection in response to a malformed
+request — it answers with an error so interactive clients can recover.
 """
 
 from __future__ import annotations

@@ -6,14 +6,24 @@ thousand ``stat`` calls is far below the cost of one analysis.  The
 :class:`Watcher` is a pure incremental-scan object (no threads, no
 clocks) so tests can drive it deterministically; the daemon wraps it in
 a polling thread.
+
+A ``stat`` that fails mid-scan (permissions yanked, file deleted
+between ``discover`` and ``stat``, NFS hiccup) is skipped — the scan
+must survive it — but no longer *silently*: each failure bumps the
+``watch.stat_errors`` counter on the active recorder and emits a
+structured ``watch.stat_error`` log event, so a corpus the daemon can
+no longer actually see shows up in the ops console instead of looking
+like a quiet, perfectly-warm cache.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.batch import discover
+from ..obs import get_recorder
+from ..obs.log import NullOpsLogger, OpsLogger
 
 
 class Watcher:
@@ -21,8 +31,10 @@ class Watcher:
     ``inputs``; :meth:`scan` returns the paths that changed since the
     previous scan."""
 
-    def __init__(self, inputs: Sequence[str]):
+    def __init__(self, inputs: Sequence[str], log: Optional[OpsLogger] = None):
         self.inputs = list(inputs)
+        self.log = log or NullOpsLogger()
+        self.stat_errors = 0
         self._signatures: Dict[str, tuple] = {}
         self._primed = False
 
@@ -35,10 +47,19 @@ class Watcher:
         """
         changed: List[str] = []
         seen = set()
+        recorder = get_recorder()
         for path in discover(self.inputs):
             try:
                 stat = os.stat(path)
-            except OSError:
+            except OSError as exc:
+                self.stat_errors += 1
+                recorder.count("watch.stat_errors")
+                self.log.warning(
+                    "watch.stat_error",
+                    path=path,
+                    error=str(exc),
+                    errno=exc.errno,
+                )
                 continue
             seen.add(path)
             signature = (stat.st_size, stat.st_mtime_ns)

@@ -332,3 +332,59 @@ class TestBatchCli:
         code, _, err = self.run_tool([str(empty)], capsys)
         assert code == 2
         assert "no scripts" in err
+
+
+class TestWorkerMetricsPropagation:
+    """Worker-side MetricsSnapshots must cross the process-pool boundary
+    and fold into the parent's recorder."""
+
+    def _pool_available(self):
+        import concurrent.futures as futures
+
+        try:
+            with futures.ProcessPoolExecutor(max_workers=1) as pool:
+                return pool.submit(int, 1).result(timeout=60) == 1
+        except Exception:
+            return False
+
+    def test_pool_worker_returns_a_snapshot_when_traced(self):
+        from repro.analysis.batch import _pool_worker
+
+        path, data, seconds, metrics = _pool_worker(
+            ("x.sh", "echo worker\n", BatchConfig(), True)
+        )
+        assert path == "x.sh"
+        assert data["diagnostics"] == []
+        assert metrics is not None
+        assert metrics["counters"].get("symex.runs", 0) >= 1
+
+    def test_pool_worker_skips_telemetry_when_untraced(self):
+        from repro.analysis.batch import _pool_worker
+
+        _, _, _, metrics = _pool_worker(("x.sh", "echo worker\n", BatchConfig()))
+        assert metrics is None
+
+    def test_pool_run_folds_worker_metrics_into_parent(self, corpus):
+        if not self._pool_available():
+            pytest.skip("process pools unavailable in this sandbox")
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            batch = run_batch([str(corpus)], jobs=2, cache=None)
+        assert len(batch.results) == 4
+        # symex happened only in the workers, yet the parent recorder
+        # sees it: the snapshots crossed the pool boundary
+        assert recorder.counter("symex.runs") >= 4
+        assert recorder.counter("batch.files") == 4  # parent-side count intact
+
+    def test_inline_and_pool_metrics_agree(self, corpus):
+        if not self._pool_available():
+            pytest.skip("process pools unavailable in this sandbox")
+        inline_rec, pool_rec = TraceRecorder(), TraceRecorder()
+        with use_recorder(inline_rec):
+            run_batch([str(corpus)], jobs=1, cache=None)
+        with use_recorder(pool_rec):
+            run_batch([str(corpus)], jobs=2, cache=None)
+        assert inline_rec.counter("symex.runs") == pool_rec.counter("symex.runs")
+        assert inline_rec.counter("symex.states_explored") == pool_rec.counter(
+            "symex.states_explored"
+        )

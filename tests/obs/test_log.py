@@ -1,0 +1,113 @@
+"""The structured JSONL ops logger: record shape, levels, rotation
+behavior, and the never-fatal guarantee."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import NullOpsLogger, OpsLogger
+
+
+class FixedClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def read_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestEmit:
+    def test_one_json_object_per_line(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"), clock=FixedClock())
+        log.info("request.accept", request_id="a-1", op="analyze")
+        log.info("request.done", request_id="a-1", op="analyze", elapsed_ms=1.5)
+        events = read_events(log.path)
+        assert [e["event"] for e in events] == ["request.accept", "request.done"]
+        assert events[0]["request_id"] == "a-1"
+        assert events[1]["elapsed_ms"] == 1.5
+        assert all("ts" in e and "level" in e for e in events)
+
+    def test_timestamps_come_from_the_clock(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"), clock=FixedClock(50.0))
+        log.info("a")
+        log.info("b")
+        events = read_events(log.path)
+        assert events[0]["ts"] == 51.0
+        assert events[1]["ts"] == 52.0
+
+    def test_emit_returns_the_record(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"))
+        record = log.warning("request.slow", elapsed_ms=1200.0)
+        assert record["event"] == "request.slow"
+        assert record["level"] == "warning"
+
+    def test_non_serializable_fields_are_stringified(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"))
+        log.error("request.error", error=ValueError("boom"))
+        [event] = read_events(log.path)
+        assert "boom" in event["error"]
+
+
+class TestLevels:
+    def test_below_threshold_dropped(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"), level="warning")
+        assert log.debug("noise") is None
+        assert log.info("request.accept") is None
+        assert log.warning("request.shed") is not None
+        assert log.error("request.error") is not None
+        events = read_events(log.path)
+        assert [e["level"] for e in events] == ["warning", "error"]
+
+    def test_unknown_level_rejected_at_construction(self, tmp_path):
+        with pytest.raises(ValueError):
+            OpsLogger(str(tmp_path / "ops.jsonl"), level="loud")
+
+
+class TestRotationSafety:
+    def test_append_survives_file_rotation(self, tmp_path):
+        """Rename-and-recreate rotation: events after the rename land in
+        the new file without any signal to the logger."""
+        path = tmp_path / "ops.jsonl"
+        log = OpsLogger(str(path))
+        log.info("before")
+        os.rename(str(path), str(tmp_path / "ops.jsonl.1"))
+        log.info("after")
+        assert [e["event"] for e in read_events(str(path))] == ["after"]
+        assert [e["event"] for e in read_events(str(tmp_path / "ops.jsonl.1"))] == [
+            "before"
+        ]
+
+    def test_unwritable_path_never_raises(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "no-such-dir" / "ops.jsonl"))
+        assert log.info("request.accept") is not None  # record built, write dropped
+
+    def test_concurrent_writers_produce_whole_lines(self, tmp_path):
+        log = OpsLogger(str(tmp_path / "ops.jsonl"))
+
+        def hammer(worker):
+            for i in range(50):
+                log.info("tick", worker=worker, i=i)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = read_events(log.path)  # every line must parse
+        assert len(events) == 200
+
+
+class TestNullLogger:
+    def test_drops_everything(self, tmp_path):
+        log = NullOpsLogger()
+        assert not log.enabled
+        assert log.info("request.accept") is None
+        assert log.error("request.error") is None

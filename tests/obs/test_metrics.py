@@ -1,0 +1,213 @@
+"""Histogram reservoir/percentiles, snapshot round-trips, and the
+Prometheus text exposition."""
+
+import json
+
+from repro.obs import Histogram, MetricsSnapshot, TraceRecorder
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import RESERVOIR_SIZE
+
+
+class TestHistogramPercentiles:
+    def test_percentile_exact_when_under_reservoir(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.add(float(value))
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+        assert abs(histogram.percentile(50) - 50.5) < 1.0
+        assert abs(histogram.percentile(95) - 95.0) < 1.5
+        assert abs(histogram.percentile(99) - 99.0) < 1.5
+
+    def test_percentile_empty_is_none(self):
+        assert Histogram().percentile(50) is None
+
+    def test_single_sample(self):
+        histogram = Histogram()
+        histogram.add(7.0)
+        assert histogram.percentile(50) == 7.0
+        assert histogram.percentile(99) == 7.0
+
+    def test_reservoir_is_bounded(self):
+        histogram = Histogram()
+        for value in range(10 * RESERVOIR_SIZE):
+            histogram.add(float(value))
+        assert len(histogram.samples) == RESERVOIR_SIZE
+        assert histogram.count == 10 * RESERVOIR_SIZE
+        # summary stats stay exact even after the reservoir saturates
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 10 * RESERVOIR_SIZE - 1
+        # the quantile estimate still tracks the true distribution
+        p50 = histogram.percentile(50)
+        assert 0.3 * 10 * RESERVOIR_SIZE < p50 < 0.7 * 10 * RESERVOIR_SIZE
+
+    def test_reservoir_is_deterministic(self):
+        one, two = Histogram(), Histogram()
+        for value in range(5 * RESERVOIR_SIZE):
+            one.add(float(value))
+            two.add(float(value))
+        assert one.samples == two.samples
+
+    def test_describe_includes_quantiles(self):
+        histogram = Histogram()
+        for value in range(100):
+            histogram.add(float(value))
+        text = histogram.describe()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        assert "n=100" in text
+
+    def test_describe_empty(self):
+        assert Histogram().describe() == "n=0"
+
+
+class TestHistogramMerge:
+    def test_merge_preserves_samples(self):
+        left, right = Histogram(), Histogram()
+        for value in (1.0, 2.0, 3.0):
+            left.add(value)
+        for value in (10.0, 20.0):
+            right.add(value)
+        left.merge(right)
+        assert left.count == 5
+        assert sorted(left.samples) == [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert left.percentile(100) == 20.0
+
+    def test_merge_respects_reservoir_cap(self):
+        left, right = Histogram(), Histogram()
+        for value in range(RESERVOIR_SIZE):
+            left.add(float(value))
+            right.add(float(value + RESERVOIR_SIZE))
+        left.merge(right)
+        assert len(left.samples) == RESERVOIR_SIZE
+        assert left.count == 2 * RESERVOIR_SIZE
+        # the subsample keeps a cross-section of both sides
+        assert any(s < RESERVOIR_SIZE for s in left.samples)
+        assert any(s >= RESERVOIR_SIZE for s in left.samples)
+
+    def test_merge_into_empty(self):
+        left, right = Histogram(), Histogram()
+        right.add(4.0)
+        left.merge(right)
+        assert left.count == 1
+        assert left.samples == [4.0]
+        assert left.minimum == left.maximum == 4.0
+
+
+class TestSnapshotRoundTrip:
+    def _snapshot(self):
+        recorder = TraceRecorder()
+        recorder.count("server.requests", 3)
+        recorder.count("batch.cache.hit", 2)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            recorder.observe("server.request_ms.analyze", value)
+        return recorder.snapshot()
+
+    def test_to_dict_from_dict_round_trip(self):
+        snapshot = self._snapshot()
+        clone = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert clone.counters == snapshot.counters
+        for name, histogram in snapshot.histograms.items():
+            other = clone.histograms[name]
+            assert other.count == histogram.count
+            assert other.total == histogram.total
+            assert other.minimum == histogram.minimum
+            assert other.maximum == histogram.maximum
+            assert other.samples == histogram.samples
+            assert other.percentile(95) == histogram.percentile(95)
+
+    def test_round_trip_survives_json(self):
+        snapshot = self._snapshot()
+        wire = json.loads(json.dumps(snapshot.to_dict()))
+        clone = MetricsSnapshot.from_dict(wire)
+        assert clone.counters == snapshot.counters
+        assert clone.histogram("server.request_ms.analyze").samples == [
+            1.0,
+            2.0,
+            3.0,
+            10.0,
+        ]
+
+    def test_from_dict_tolerates_missing_samples(self):
+        # wire data from an older producer has no 'samples' key
+        clone = MetricsSnapshot.from_dict(
+            {"histograms": {"x": {"count": 5, "total": 10.0, "min": 1, "max": 3}}}
+        )
+        assert clone.histogram("x").count == 5
+        assert clone.histogram("x").samples == []
+        assert clone.histogram("x").percentile(50) is None
+
+    def test_cross_process_style_merge(self):
+        """Worker snapshots arrive as dicts and fold into a parent
+        recorder exactly once each (the pool-boundary path)."""
+        parent = TraceRecorder()
+        parent.count("batch.files", 2)
+        for worker_id in (1, 2):
+            worker = TraceRecorder()
+            worker.count("symex.states_explored", 10 * worker_id)
+            worker.observe("batch.file_seconds", float(worker_id))
+            wire = json.loads(json.dumps(worker.snapshot().to_dict()))
+            parent.absorb(MetricsSnapshot.from_dict(wire))
+        assert parent.counter("batch.files") == 2
+        assert parent.counter("symex.states_explored") == 30
+        merged = parent.histogram("batch.file_seconds")
+        assert merged.count == 2
+        assert sorted(merged.samples) == [1.0, 2.0]
+
+
+class TestAbsorb:
+    def test_null_recorder_absorb_is_noop(self):
+        from repro.obs import NullRecorder
+
+        recorder = NullRecorder()
+        recorder.absorb(MetricsSnapshot(counters={"x": 5}))
+        assert recorder.counter("x") == 0
+
+    def test_absorb_accumulates(self):
+        totals = TraceRecorder()
+        for _ in range(3):
+            request = TraceRecorder()
+            request.count("server.requests")
+            request.observe("server.request_ms", 2.0)
+            totals.absorb(request.snapshot())
+        assert totals.counter("server.requests") == 3
+        assert totals.histogram("server.request_ms").count == 3
+
+
+class TestPrometheusText:
+    def test_counters_and_summaries(self):
+        snapshot = MetricsSnapshot(counters={"server.requests": 7})
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.add(value)
+        snapshot.histograms["server.request_ms"] = histogram
+        text = prometheus_text(snapshot, gauges={"server.uptime_seconds": 12.5})
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert "repro_server_requests_total 7" in text
+        assert "# TYPE repro_server_request_ms summary" in text
+        assert 'repro_server_request_ms{quantile="0.5"} 2.0' in text
+        assert "repro_server_request_ms_sum 6.0" in text
+        assert "repro_server_request_ms_count 3" in text
+        assert "# TYPE repro_server_uptime_seconds gauge" in text
+        assert text.endswith("\n")
+
+    def test_every_line_parses(self):
+        """Each non-comment line must be `name{labels}? value` with a
+        float-parseable value — the exposition-format contract."""
+        snapshot = MetricsSnapshot(counters={"a.b-c/d": 1, "9leading": 2})
+        histogram = Histogram()
+        histogram.add(1.5)
+        snapshot.histograms["batch.file_seconds"] = histogram
+        text = prometheus_text(snapshot, gauges={"g": None})
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                parts = line.split()
+                assert parts[:2] == ["#", "TYPE"] and len(parts) == 4
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            metric = name_part.split("{", 1)[0]
+            assert metric.replace("_", "a").isalnum(), metric
+            assert not metric[0].isdigit()
+            float(value_part)  # NaN included — must not raise
+
+    def test_empty_snapshot(self):
+        assert prometheus_text(MetricsSnapshot()) == "\n"

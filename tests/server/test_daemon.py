@@ -229,3 +229,277 @@ class TestWatcher:
             time.sleep(0.05)
         else:
             pytest.fail("watcher never warmed the cache")
+
+
+class TestRequestTelemetry:
+    """Request-scoped tracing: ids, envelope metrics, and the invariant
+    that per-request snapshots sum into the server totals."""
+
+    def test_every_response_carries_a_unique_request_id(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        ids = []
+        for _ in range(3):
+            client.ping()
+            ids.append(client.last_request_id)
+        assert all(ids)
+        assert len(set(ids)) == 3
+
+    def test_error_responses_carry_request_ids_too(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        with pytest.raises(ServerError):
+            client.request({"op": "frobnicate"})
+        assert client.last_request_id
+
+    def test_envelope_metrics_show_where_the_request_spent_time(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        client.analyze_source("grep pattern /etc/hosts > /tmp/out\n")
+        metrics = client.last_metrics
+        assert metrics is not None
+        assert metrics["counters"]["server.requests"] == 1
+        assert metrics["counters"]["server.op.analyze"] == 1
+        assert "server.request_ms.analyze" in metrics["histograms"]
+        assert client.last_elapsed_ms > 0
+
+    def test_telemetry_false_suppresses_envelope_metrics(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        client.request({"op": "ping", "telemetry": False})
+        assert client.last_metrics is None
+        assert client.last_request_id  # the id survives opting out
+
+    def test_per_request_metrics_sum_into_stats_totals(self, daemon, tmp_path):
+        """The consistency invariant: summing the envelope snapshots of
+        every request must reproduce the stats-op counters exactly."""
+        from repro.obs import MetricsSnapshot
+
+        client = ServerClient(daemon.socket_path)
+        summed = MetricsSnapshot()
+        client.analyze_source("echo request-sum-one\n")
+        summed.merge(MetricsSnapshot.from_dict(client.last_metrics))
+        client.analyze_source("echo request-sum-one\n")  # cache hit
+        summed.merge(MetricsSnapshot.from_dict(client.last_metrics))
+        client.batch([_corpus(tmp_path)])
+        summed.merge(MetricsSnapshot.from_dict(client.last_metrics))
+
+        totals = MetricsSnapshot.from_dict(client.stats()["metrics"])
+        for name, value in summed.counters.items():
+            assert totals.counter(name) >= value, name
+        # this client was the only traffic source for these counters
+        assert totals.counter("server.op.analyze") == 2
+        assert totals.counter("batch.cache.hit") == summed.counter(
+            "batch.cache.hit"
+        )
+        assert (
+            totals.histogram("server.request_ms.analyze").count
+            == summed.histogram("server.request_ms.analyze").count
+            == 2
+        )
+
+    def test_concurrent_requests_do_not_cross_contaminate(self, daemon, tmp_path):
+        corpus = _corpus(tmp_path)
+        results = []
+
+        def hit():
+            client = ServerClient(daemon.socket_path)
+            client.batch([corpus])
+            results.append(client.last_metrics)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(results) == 4
+        for metrics in results:
+            # each request sees exactly its own accounting
+            assert metrics["counters"]["server.requests"] == 1
+            assert metrics["counters"]["server.op.batch"] == 1
+
+
+class TestExtendedStats:
+    def test_stats_operational_fields(self, daemon, tmp_path):
+        client = ServerClient(daemon.socket_path)
+        client.batch([_corpus(tmp_path)])
+        client.batch([_corpus(tmp_path)])  # warm: all hits
+        stats = client.stats()
+        assert stats["uptime_s"] >= 0
+        assert stats["request_rate_rps"] > 0
+        assert stats["inflight"] == 1  # the stats request itself
+        assert stats["max_inflight"] >= 1
+        assert stats["errors"] == 0
+        assert stats["shed"] == 0
+        assert stats["pool_alive"] is False  # jobs=1: no pool
+        assert stats["cache_hits"] == 2 and stats["cache_misses"] == 2
+        assert stats["cache_hit_rate"] == 0.5
+
+    def test_stats_latency_quantiles_per_op(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        for index in range(3):
+            client.analyze_source(f"echo latency-{index}\n")
+        stats = client.stats()
+        latency = stats["latency_ms"]["analyze"]
+        assert latency["count"] == 3
+        assert latency["p50_ms"] is not None
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert latency["max_ms"] >= latency["p99_ms"]
+
+    def test_budget_clamp_is_counted(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        client.request(
+            {
+                "op": "analyze",
+                "source": "echo clamp\n",
+                "config": {"timeout": 999999.0},
+            }
+        )
+        assert client.last_metrics["counters"]["server.budget_clamped"] == 1
+        assert client.stats()["budget_clamps"] >= 1
+
+    def test_in_cap_budget_not_counted_as_clamp(self, daemon):
+        client = ServerClient(daemon.socket_path)
+        client.request(
+            {"op": "analyze", "source": "echo ok\n", "config": {"timeout": 1.0}}
+        )
+        assert "server.budget_clamped" not in client.last_metrics["counters"]
+
+
+class TestMetricsOp:
+    def test_prometheus_text_scrapes(self, daemon, tmp_path):
+        client = ServerClient(daemon.socket_path)
+        client.batch([_corpus(tmp_path)])
+        text = client.metrics_text()
+        assert "repro_server_requests_total" in text
+        assert "repro_batch_files_total" in text
+        assert "repro_server_request_ms summary" in text
+        assert "repro_server_uptime_seconds" in text
+        # exposition contract: every line is a comment or name+value
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+
+
+class TestLoadShedding:
+    def test_requests_beyond_max_inflight_are_shed(self, tmp_path):
+        socket_path = str(tmp_path / "shed.sock")
+        server = AnalysisServer(
+            socket_path=socket_path,
+            jobs=1,
+            cache=None,
+            recorder=TraceRecorder(),
+            max_inflight=0,  # everything sheds — deterministic
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while not os.path.exists(socket_path):
+            if time.monotonic() > deadline:
+                pytest.fail("daemon socket never appeared")
+            time.sleep(0.01)
+        try:
+            client = ServerClient(socket_path)
+            with pytest.raises(ServerError, match="overloaded"):
+                client.ping()
+            assert client.last_request_id
+            assert server.recorder.counter("server.shed") == 1
+        finally:
+            server._initiate_shutdown()
+            thread.join(timeout=5.0)
+
+
+class TestOpsLog:
+    @pytest.fixture()
+    def logged_daemon(self, tmp_path):
+        from repro.obs import OpsLogger
+
+        socket_path = str(tmp_path / "logged.sock")
+        log_path = str(tmp_path / "ops.jsonl")
+        server = AnalysisServer(
+            socket_path=socket_path,
+            jobs=1,
+            cache=ResultCache(str(tmp_path / "cache")),
+            recorder=TraceRecorder(),
+            log=OpsLogger(log_path, level="debug"),
+            slow_ms=0.0,  # every request is "slow": exercises the path
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while not os.path.exists(socket_path):
+            if time.monotonic() > deadline:
+                pytest.fail("daemon socket never appeared")
+            time.sleep(0.01)
+        yield server, log_path
+        if thread.is_alive():
+            try:
+                ServerClient(socket_path).shutdown()
+            except (ServerUnavailable, ServerError):
+                pass
+            thread.join(timeout=5.0)
+
+    def _events(self, log_path):
+        import json
+
+        with open(log_path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle]
+
+    def test_request_lifecycle_events(self, logged_daemon):
+        server, log_path = logged_daemon
+        client = ServerClient(server.socket_path)
+        client.analyze_source("echo logged\n")
+        events = self._events(log_path)
+        kinds = [e["event"] for e in events]
+        assert "server.start" in kinds
+        assert "request.accept" in kinds
+        assert "request.done" in kinds
+        assert "request.slow" in kinds  # slow_ms=0 makes everything slow
+        done = next(e for e in events if e["event"] == "request.done")
+        assert done["op"] == "analyze"
+        assert done["request_id"] == client.last_request_id
+        assert done["elapsed_ms"] > 0
+
+    def test_failed_request_logs_structured_error(self, logged_daemon):
+        server, log_path = logged_daemon
+        client = ServerClient(server.socket_path)
+        with pytest.raises(ServerError):
+            client.request({"op": "analyze"})  # neither source nor path
+        errors = [
+            e for e in self._events(log_path) if e["event"] == "request.error"
+        ]
+        assert errors and errors[0]["error_type"] == "ValueError"
+        assert errors[0]["request_id"] == client.last_request_id
+        assert server.recorder.counter("server.errors") == 1
+
+
+class TestWatcherStatErrors:
+    def test_unreadable_path_bumps_counter_and_logs(self, tmp_path):
+        from repro.obs import OpsLogger, TraceRecorder, use_recorder
+        from repro.server import watch as watch_mod
+
+        log_path = str(tmp_path / "watch.jsonl")
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus], log=OpsLogger(log_path))
+        original_stat = os.stat
+
+        def failing_stat(path, *args, **kwargs):
+            if str(path).endswith("guard.sh"):
+                raise PermissionError(13, "Permission denied", str(path))
+            return original_stat(path, *args, **kwargs)
+
+        recorder = TraceRecorder()
+        watch_mod.os.stat = failing_stat
+        try:
+            with use_recorder(recorder):
+                changed = watcher.scan()
+        finally:
+            watch_mod.os.stat = original_stat
+        assert len(changed) == 1  # danger.sh still reported
+        assert watcher.stat_errors == 1
+        assert recorder.counter("watch.stat_errors") == 1
+        import json
+
+        with open(log_path, "r", encoding="utf-8") as handle:
+            [event] = [json.loads(line) for line in handle]
+        assert event["event"] == "watch.stat_error"
+        assert event["path"].endswith("guard.sh")
+        assert event["level"] == "warning"
