@@ -1,0 +1,10 @@
+#!/bin/sh
+# Parallelizable workload: three independent extraction passes feeding
+# one aggregation.  repro-optimize proves the extractions share no
+# RAW/WAR/WAW dependence and suggests running them under `&` with a
+# `wait` barrier before the dependent aggregation step.
+mkdir -p /srv/report
+grep ERROR /var/log/web.log > /srv/report/web.txt
+grep ERROR /var/log/db.log > /srv/report/db.txt
+grep ERROR /var/log/queue.log > /srv/report/queue.txt
+cat /srv/report/web.txt /srv/report/db.txt /srv/report/queue.txt | sort | uniq -c | sort -rn > /srv/report/summary.txt

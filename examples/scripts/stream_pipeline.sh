@@ -1,0 +1,9 @@
+#!/bin/sh
+# Pipeline-parallelism showcase: every stage lands in a distinct
+# parallelizability class.  grep/sed/cut are stateless line maps
+# (split anywhere, merge with cat); sort is commutative (merge with
+# sort -m); wc -l is a commutative aggregator (merge by summation);
+# head is blocking (depends on absolute stream position).
+grep 'acct=' /var/log/audit.log | sed 's/^audit: //' | cut -d' ' -f2 | sort -u > /tmp/accounts.txt
+grep -c 'denied' /var/log/audit.log > /tmp/denied.count
+seq 1 100 | sed 's/$/ trial/' | head -10 > /tmp/trials.txt

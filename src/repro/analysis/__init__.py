@@ -10,6 +10,14 @@ from .annotations import (
 )
 from .batch import BatchConfig, BatchResult, FileResult, discover, run_batch
 from .cache import ResultCache, cache_key, default_cache_dir
+from .optimize import (
+    OptimizeBatchResult,
+    OptimizePlan,
+    build_plan,
+    optimize_source,
+    plan_cache_key,
+    run_optimize_batch,
+)
 from .report import Report
 from .resilience import AnalysisBudgetExceeded, ResourceBudget
 
@@ -17,4 +25,6 @@ __all__ = ["analyze", "Report", "parse_annotations", "AnnotationSet", "Annotatio
            "load_annotation_file", "merge_annotations",
            "BatchConfig", "BatchResult", "FileResult", "discover", "run_batch",
            "ResultCache", "cache_key", "default_cache_dir",
-           "ResourceBudget", "AnalysisBudgetExceeded"]
+           "ResourceBudget", "AnalysisBudgetExceeded",
+           "OptimizePlan", "OptimizeBatchResult", "build_plan",
+           "optimize_source", "plan_cache_key", "run_optimize_batch"]

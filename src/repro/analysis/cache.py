@@ -74,15 +74,19 @@ class ResultCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
-    def get(self, key: str) -> Optional[dict]:
-        """The stored report dict, or None on a miss (including corrupt
-        or partially-written entries)."""
+    def get(self, key: str, schema: Optional[int] = None) -> Optional[dict]:
+        """The stored dict, or None on a miss (including corrupt or
+        partially-written entries).  ``schema`` is the expected payload
+        schema version — the report schema by default; other payload
+        kinds (e.g. optimization plans) pass their own so a stale or
+        foreign entry reads as a miss."""
+        expected = schema if schema is not None else Report.SCHEMA_VERSION
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             return None
-        if not isinstance(data, dict) or data.get("schema") != Report.SCHEMA_VERSION:
+        if not isinstance(data, dict) or data.get("schema") != expected:
             return None
         return data
 

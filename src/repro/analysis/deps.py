@@ -32,6 +32,7 @@ from ..fs import FsOp
 from ..shell import parse
 from ..shell.ast import Command, Sequence as SeqNode, SimpleCommand, walk
 from ..symex import Engine
+from .resilience import AnalysisBudgetExceeded, ResourceBudget, use_budget
 
 #: fs operations that constitute a write (mutation) vs a read
 _WRITES = {FsOp.WRITE, FsOp.CREATE, FsOp.DELETE}
@@ -63,9 +64,20 @@ class Dependency:
 
 
 class DependencyGraph:
-    def __init__(self, effects: List[CommandEffects], deps: List[Dependency]):
+    def __init__(
+        self,
+        effects: List[CommandEffects],
+        deps: List[Dependency],
+        degraded: bool = False,
+        degraded_reason: Optional[str] = None,
+    ):
         self.effects = effects
         self.dependencies = deps
+        #: the symbolic evaluation ran out of budget part-way: commands
+        #: past the trip point are conservatively marked external, so the
+        #: graph stays sound but over-ordered (a partial schedule)
+        self.degraded = degraded
+        self.degraded_reason = degraded_reason
         self.graph = nx.DiGraph()
         for effect in effects:
             self.graph.add_node(effect.index, source=effect.source)
@@ -101,6 +113,8 @@ class DependencyGraph:
         lines.append(
             "schedule: " + " | ".join("{" + ",".join(map(str, s)) + "}" for s in stages)
         )
+        if self.degraded:
+            lines.append(f"[degraded: {self.degraded_reason or 'budget exhausted'}]")
         return "\n".join(lines)
 
 
@@ -111,14 +125,42 @@ def _top_level_commands(source: str) -> List[Command]:
     return [ast]
 
 
+#: builtins whose operands name variables they (re)define
+_DEFINING_BUILTINS = {"read", "export", "local", "readonly", "unset"}
+
+
 def _vars_of(node: Command) -> Tuple[Set[str], Set[str]]:
-    """(uses, defs) of shell variables, syntactically."""
-    from ..shell.ast import Assignment, ParamPart, Word
+    """(uses, defs) of shell variables, syntactically.
+
+    Defs made *inside command substitutions* run in a subshell and never
+    escape to the enclosing shell, so only the substitution's **uses**
+    propagate (``X=$(Y=5; echo a)`` defines ``X``, not ``Y``).  ``for``
+    loop variables, ``case`` subjects/patterns, compound-command redirect
+    targets, and the variable-defining builtins (``read``/``export``/...)
+    are all scanned.
+    """
+    from ..shell.ast import (
+        AndOr,
+        Background,
+        BraceGroup,
+        Case,
+        CmdSubPart,
+        For,
+        FunctionDef,
+        If,
+        ParamPart,
+        Pipeline,
+        Redirect,
+        Sequence,
+        Subshell,
+        While,
+        Word,
+    )
 
     uses: Set[str] = set()
     defs: Set[str] = set()
 
-    def scan_word(word: Word):
+    def scan_word(word: Word) -> None:
         for part in word.parts:
             if isinstance(part, ParamPart):
                 uses.add(part.name)
@@ -126,23 +168,95 @@ def _vars_of(node: Command) -> Tuple[Set[str], Set[str]]:
                     scan_word(part.arg)
                 if part.op in ("=", ":="):
                     defs.add(part.name)
+            elif isinstance(part, CmdSubPart):
+                # subshell: reads come from the enclosing environment,
+                # but assignments made inside never escape
+                sub_uses, _sub_defs = _vars_of(part.command)
+                uses.update(sub_uses)
 
-    for sub in walk(node):
+    def scan_redirects(redirects: List[Redirect]) -> None:
+        for redirect in redirects:
+            scan_word(redirect.target)
+
+    def scan(sub: Optional[Command]) -> None:
+        if sub is None:
+            return
         if isinstance(sub, SimpleCommand):
             for assignment in sub.assignments:
                 defs.add(assignment.name)
                 scan_word(assignment.value)
             for word in sub.words:
                 scan_word(word)
-            for redirect in sub.redirects:
-                scan_word(redirect.target)
+            scan_redirects(sub.redirects)
+            name = sub.name
+            if name in _DEFINING_BUILTINS:
+                for word in sub.words[1:]:
+                    text = word.literal_text()
+                    if text and not text.startswith("-"):
+                        defs.add(text.split("=", 1)[0])
+            elif name == "getopts" and len(sub.words) >= 3:
+                text = sub.words[2].literal_text()
+                if text:
+                    defs.add(text)
+                defs.update({"OPTIND", "OPTARG"})
+        elif isinstance(sub, (Pipeline, Sequence)):
+            for child in sub.commands:
+                scan(child)
+        elif isinstance(sub, AndOr):
+            scan(sub.left)
+            scan(sub.right)
+        elif isinstance(sub, Background):
+            scan(sub.command)
+        elif isinstance(sub, (Subshell, BraceGroup)):
+            scan(sub.body)
+            scan_redirects(sub.redirects)
+        elif isinstance(sub, If):
+            scan(sub.cond)
+            scan(sub.then)
+            for clause in sub.elifs:
+                scan(clause.cond)
+                scan(clause.then)
+            scan(sub.else_)
+            scan_redirects(sub.redirects)
+        elif isinstance(sub, While):
+            scan(sub.cond)
+            scan(sub.body)
+            scan_redirects(sub.redirects)
+        elif isinstance(sub, For):
+            defs.add(sub.var)
+            for word in sub.words or []:
+                scan_word(word)
+            scan(sub.body)
+            scan_redirects(sub.redirects)
+        elif isinstance(sub, Case):
+            scan_word(sub.subject)
+            for item in sub.items:
+                for pattern in item.patterns:
+                    scan_word(pattern)
+                scan(item.body)
+            scan_redirects(sub.redirects)
+        elif isinstance(sub, FunctionDef):
+            scan(sub.body)
+
+    scan(node)
     return uses, defs
 
 
-def analyze_dependencies(source: str, n_args: int = 0) -> DependencyGraph:
-    """Build the dependency graph of a script's top-level commands."""
+def analyze_dependencies(
+    source: str,
+    n_args: int = 0,
+    budget: Optional[ResourceBudget] = None,
+) -> DependencyGraph:
+    """Build the dependency graph of a script's top-level commands.
+
+    ``budget`` bounds the per-command symbolic evaluation (wall clock and
+    state count).  On exhaustion the analysis does not raise: the command
+    that tripped the budget and every later command are conservatively
+    marked external (ordered after everything), and the returned graph
+    carries ``degraded=True`` with the reason.
+    """
     commands = _top_level_commands(source)
-    engine = Engine(checkers=default_checkers())
+    engine = Engine(checkers=default_checkers(), budget=budget)
     engine.script_assigned = set()
     from ..symex.engine import _assigned_names
 
@@ -150,46 +264,66 @@ def analyze_dependencies(source: str, n_args: int = 0) -> DependencyGraph:
     engine.script_assigned = _assigned_names(ast)
     states = [engine.initial_state(n_args=n_args)]
 
+    if budget is not None:
+        budget.start()
+    degraded = False
+    degraded_reason: Optional[str] = None
+
     effects: List[CommandEffects] = []
-    for index, command in enumerate(commands):
-        raw = _render_command(command, source)
-        uses, defs = _vars_of(command)
-        effect = CommandEffects(
-            index=index, source=raw, var_uses=uses, var_defs=defs
-        )
-        marks = [(state, len(state.fs.log)) for state in states]
-        next_states = []
-        for state, mark in marks:
-            for result in engine.eval(command, state):
-                for event in result.fs.log.since(mark):
-                    if event.node is None:
-                        continue
-                    if event.op in _WRITES:
-                        effect.writes.add(event.node)
-                        # writing a node requires its ancestors to exist:
-                        # record them as reads so `mkdir /d` -> `cmd >/d/f`
-                        # yields a flow dependency
-                        parent = result.fs.nodes[event.node].parent
-                        while parent is not None:
-                            effect.reads.add(parent)
-                            parent = result.fs.nodes[parent].parent
-                    elif event.op in _READS:
-                        effect.reads.add(event.node)
-                next_states.append(result)
-        has_unknown = any(
-            isinstance(sub, SimpleCommand)
-            and sub.name is not None
-            and engine.registry.get(sub.name) is None
-            and not _is_builtin_name(sub.name)
-            and sub.name not in _assigned_functions(ast)
-            for sub in walk(command)
-        )
-        effect.external = has_unknown
-        effects.append(effect)
-        states = next_states[: engine.max_fork]
+    with use_budget(budget):
+        for index, command in enumerate(commands):
+            raw = _render_command(command, source)
+            uses, defs = _vars_of(command)
+            effect = CommandEffects(
+                index=index, source=raw, var_uses=uses, var_defs=defs
+            )
+            if degraded:
+                # past the budget trip: no evaluation, conservative order
+                effect.external = True
+                effects.append(effect)
+                continue
+            marks = [(state, len(state.fs.log)) for state in states]
+            next_states = []
+            try:
+                for state, mark in marks:
+                    for result in engine.eval(command, state):
+                        for event in result.fs.log.since(mark):
+                            if event.node is None:
+                                continue
+                            if event.op in _WRITES:
+                                effect.writes.add(event.node)
+                                # writing a node requires its ancestors to
+                                # exist: record them as reads so `mkdir /d`
+                                # -> `cmd >/d/f` yields a flow dependency
+                                parent = result.fs.nodes[event.node].parent
+                                while parent is not None:
+                                    effect.reads.add(parent)
+                                    parent = result.fs.nodes[parent].parent
+                            elif event.op in _READS:
+                                effect.reads.add(event.node)
+                        next_states.append(result)
+            except AnalysisBudgetExceeded as exc:
+                degraded = True
+                degraded_reason = str(exc)
+                effect.external = True
+                effects.append(effect)
+                continue
+            has_unknown = any(
+                isinstance(sub, SimpleCommand)
+                and sub.name is not None
+                and engine.registry.get(sub.name) is None
+                and not _is_builtin_name(sub.name)
+                and sub.name not in _assigned_functions(ast)
+                for sub in walk(command)
+            )
+            effect.external = has_unknown
+            effects.append(effect)
+            states = next_states[: engine.max_fork]
 
     deps = _derive_dependencies(effects)
-    return DependencyGraph(effects, deps)
+    return DependencyGraph(
+        effects, deps, degraded=degraded, degraded_reason=degraded_reason
+    )
 
 
 def _is_builtin_name(name: str) -> bool:
@@ -225,6 +359,10 @@ def _derive_dependencies(effects: List[CommandEffects]) -> List[Dependency]:
                 add(i, j, "output", f"node {node}")
             for name in earlier.var_defs & later.var_uses:
                 add(i, j, "var", f"${name}")
+            for name in earlier.var_uses & later.var_defs:
+                # WAR on a variable: reordering would let the later
+                # redefinition clobber the value the earlier command read
+                add(i, j, "var", f"${name} (write-after-read)")
             for name in earlier.var_defs & later.var_defs:
                 add(i, j, "var", f"${name} (redefinition)")
             if earlier.external or later.external:

@@ -1,0 +1,69 @@
+"""Plan-schema validation against the checked-in JSON Schema.
+
+The validator is a deliberate hand-rolled subset of JSON Schema —
+``type`` (including union lists), ``required``, ``properties``,
+``items``, and ``enum`` — which is exactly what ``plan.schema.json``
+uses.  Keeping it in-tree avoids a third-party ``jsonschema``
+dependency while still letting CI validate every emitted plan against
+the same document external consumers read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, List, Optional
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "plan.schema.json")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; keep the JSON types disjoint
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema() -> dict:
+    with open(SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_plan(data: Any, schema: Optional[dict] = None) -> List[str]:
+    """All schema violations in ``data`` (empty list = valid)."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _validate(data, schema, "$", errors)
+    return errors
+
+
+def _validate(value: Any, schema: dict, path: str, errors: List[str]) -> None:
+    declared = schema.get("type")
+    if declared is not None:
+        allowed = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path}: expected {' or '.join(allowed)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in value:
+                _validate(value[name], subschema, f"{path}.{name}", errors)
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(value):
+                _validate(element, items, f"{path}[{index}]", errors)

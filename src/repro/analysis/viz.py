@@ -122,3 +122,56 @@ def behaviour_summary(source: str, n_args: int = 0) -> str:
     for diagnostic in errors + warnings:
         lines.append(f"   {diagnostic.render()}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# dependence-graph DOT export (consumed by `repro-optimize --dot`)
+# ---------------------------------------------------------------------------
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def dependency_dot(
+    commands: Sequence[str],
+    dependencies: Sequence[dict],
+    groups: Optional[Sequence[Sequence[int]]] = None,
+    title: str = "repro-optimize",
+) -> str:
+    """A Graphviz digraph of the command dependence graph.
+
+    ``commands`` are the node labels in index order; ``dependencies``
+    are ``{"src", "dst", "kind", "via"}`` edge dicts (the plan's own
+    serialization); ``groups`` are index sets to highlight as verified
+    ``&``-groups.  Works directly off a deserialized ``plan.json``.
+    """
+    grouped: Dict[int, int] = {}
+    for group_index, group in enumerate(groups or ()):
+        for member in group:
+            grouped[member] = group_index
+    lines = [
+        f'digraph "{_dot_escape(title)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+    ]
+    for index, text in enumerate(commands):
+        label = _dot_escape(f"[{index}] {text}")
+        if index in grouped:
+            lines.append(
+                f'  c{index} [label="{label}", style=filled, '
+                f'fillcolor=palegreen, '
+                f'tooltip="&-group {grouped[index]}"];'
+            )
+        else:
+            lines.append(f'  c{index} [label="{label}"];')
+    for dep in dependencies:
+        kind = dep.get("kind", "?")
+        via = _dot_escape(f"{kind}: {dep.get('via', '')}")
+        style = ' style=dashed' if kind == "external" else ""
+        lines.append(
+            f'  c{dep.get("src")} -> c{dep.get("dst")} '
+            f'[label="{via}", fontsize=9{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,6 +1,7 @@
 """Command-line entry points.
 
 - ``repro-analyze``  — semantics-driven static analysis of a script
+- ``repro-optimize`` — parallelizability & reordering advisor (plan.json)
 - ``repro-lint``     — the syntactic baseline (ShellCheck-class)
 - ``repro-typeof``   — type introspection (§4's ``typeOf`` utility)
 - ``repro-monitor``  — run a command under runtime stream monitoring
@@ -308,6 +309,243 @@ def _analyze_batch(options: argparse.Namespace, inputs: List[str], min_severity)
     if batch.unsafe:
         return 1
     return 3 if batch.degraded else 0
+
+
+# ---------------------------------------------------------------------------
+# repro-optimize
+# ---------------------------------------------------------------------------
+
+
+def main_optimize(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize",
+        description="Optimization advisor: classify pipeline stages by "
+        "parallelizability (with merge operators) and derive race-checked "
+        "'&'-reorder groups from the command dependence graph.",
+        epilog="exit status: 0 plan emitted; 2 no scripts found; "
+        "3 plan degraded (budget exhausted or analysis incomplete)",
+    )
+    parser.add_argument(
+        "script",
+        nargs="+",
+        help="script path(s), director(ies), glob pattern(s), or - for stdin; "
+        "more than one input (or a directory/glob) switches to batch mode",
+    )
+    parser.add_argument(
+        "--args",
+        nargs="+",
+        default=None,
+        metavar="ARG",
+        help="concrete positional arguments to plan the script under",
+    )
+    parser.add_argument("--n-args", type=int, default=None, metavar="N")
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable plan JSON here (a single plan "
+        "object, or an array of {path, plan} entries in batch mode)",
+    )
+    parser.add_argument(
+        "--dot",
+        default=None,
+        metavar="FILE",
+        help="write a Graphviz rendering of the dependence graph with "
+        "verified '&'-groups highlighted (single-file mode)",
+    )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help="use a running repro-served daemon when available (falls back "
+        "to inline planning when none is listening)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="analysis-server socket (default: $REPRO_SERVER_SOCKET or a "
+        "per-user runtime path)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch mode: plan up to N files in parallel",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent plan cache location (shared with the analysis "
+        "result cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-plan every file, ignoring the cache",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="per-file wall-clock budget; on expiry the plan degrades to a "
+        "partial one instead of hanging",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-file symbolic evaluation-step budget (degrades like "
+        "--timeout)",
+    )
+    _add_common_flags(parser)
+    # fields _batch_config expects but repro-optimize does not expose
+    parser.set_defaults(platforms=None, lint=False, races=True)
+    options = parser.parse_args(argv)
+
+    inputs = options.script
+    batch_mode = len(inputs) > 1 or (
+        inputs[0] != "-" and not os.path.isfile(inputs[0])
+    )
+    if batch_mode:
+        return _optimize_batch(options, inputs)
+
+    import json
+
+    from .analysis.optimize import OptimizePlan, optimize_source
+
+    source = _read_script(inputs[0])
+    config = _batch_config(options)
+    with _observed("repro-optimize", options):
+        data = None
+        if options.server:
+            data = _optimize_via_server(options, source, config)
+        if data is None and not options.no_cache and options.cache_dir:
+            data = _cached_plan(options.cache_dir, source, config)
+        if data is None:
+            data = optimize_source(source, config)
+    plan = OptimizePlan.from_dict(data)
+    print(plan.render())
+    if options.plan:
+        with open(options.plan, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if options.dot:
+        with open(options.dot, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_dot())
+    return 3 if plan.degraded else 0
+
+
+def _cached_plan(cache_dir: str, source: str, config):
+    """Single-file plan caching: serve a hit, else compute and store."""
+    from .analysis import ResultCache
+    from .analysis.optimize import (
+        PLAN_SCHEMA_VERSION,
+        optimize_source,
+        plan_cache_key,
+    )
+
+    cache = ResultCache(cache_dir)
+    key = plan_cache_key(source, config)
+    data = cache.get(key, schema=PLAN_SCHEMA_VERSION)
+    if data is not None:
+        return data
+    data = optimize_source(source, config)
+    if not data.get("degraded"):
+        cache.put(key, data)
+    return data
+
+
+def _optimize_via_server(options: argparse.Namespace, source: str, config):
+    """One script's plan via the daemon; None means fall back to inline."""
+    from .server import ServerClient, ServerError, ServerUnavailable
+
+    try:
+        with ServerClient(options.socket) as client:
+            data = client.optimize_source(source, config)
+            if options.stats:
+                _print_server_stats(client)
+            return data
+    except (ServerUnavailable, ServerError) as exc:
+        print(f"repro-optimize: {exc}; planning inline", file=sys.stderr)
+        return None
+
+
+def _optimize_batch(options: argparse.Namespace, inputs: List[str]) -> int:
+    import json
+
+    from .analysis import ResultCache
+    from .analysis.optimize import run_optimize_batch
+
+    with _observed("repro-optimize", options):
+        batch = None
+        if options.server:
+            batch = _optimize_batch_via_server(options, inputs)
+        if batch is None:
+            cache = None if options.no_cache else ResultCache(options.cache_dir)
+            batch = run_optimize_batch(
+                inputs,
+                config=_batch_config(options),
+                jobs=options.jobs,
+                cache=cache,
+            )
+    if not batch.results:
+        print("repro-optimize: no scripts found", file=sys.stderr)
+        return 2
+    print(batch.render())
+    if options.plan:
+        payload = [
+            {"path": result.path, "plan": result.plan.to_dict()}
+            for result in batch.results
+        ]
+        with open(options.plan, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 3 if batch.degraded else 0
+
+
+def _optimize_batch_via_server(options: argparse.Namespace, inputs: List[str]):
+    """A corpus planned file-by-file through the daemon's optimize op;
+    None means fall back to inline planning."""
+    from .analysis.batch import discover
+    from .analysis.optimize import (
+        OptimizeBatchResult,
+        OptimizeFileResult,
+        OptimizePlan,
+    )
+    from .server import ServerClient, ServerError, ServerUnavailable
+
+    config = _batch_config(options)
+    try:
+        with ServerClient(options.socket) as client:
+            batch = OptimizeBatchResult()
+            for path in discover(inputs):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        source = handle.read()
+                except OSError as exc:
+                    plan = OptimizePlan(
+                        degraded=True, degraded_reason=f"read error: {exc}"
+                    )
+                    batch.results.append(
+                        OptimizeFileResult(path=path, plan=plan)
+                    )
+                    continue
+                data = client.optimize_source(source, config)
+                batch.results.append(
+                    OptimizeFileResult(
+                        path=path, plan=OptimizePlan.from_dict(data)
+                    )
+                )
+            if options.stats:
+                _print_server_stats(client)
+            return batch
+    except (ServerUnavailable, ServerError) as exc:
+        print(f"repro-optimize: {exc}; planning inline", file=sys.stderr)
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -814,6 +1052,7 @@ def main_mine(argv: Optional[List[str]] = None) -> int:
 
 _TOOLS = {
     "analyze": main_analyze,
+    "optimize": main_optimize,
     "lint": main_lint,
     "typeof": main_typeof,
     "monitor": main_monitor,

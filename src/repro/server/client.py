@@ -130,6 +130,21 @@ class ServerClient:
         )
         return Report.from_dict(result["report"])
 
+    def optimize_source(
+        self, source: str, config: Optional[BatchConfig] = None
+    ) -> dict:
+        """One script's optimization plan (the serialized plan dict,
+        ready for ``OptimizePlan.from_dict``); byte-identical to an
+        inline ``repro-optimize`` run over the same source + config."""
+        result = self.request(
+            {
+                "op": "optimize",
+                "source": source,
+                "config": protocol.config_to_wire(config or BatchConfig()),
+            }
+        )
+        return result["plan"]
+
     def batch(
         self, inputs: Sequence[str], config: Optional[BatchConfig] = None
     ) -> BatchResult:

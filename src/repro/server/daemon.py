@@ -240,6 +240,9 @@ class AnalysisServer:
                     elif op == "analyze":
                         with request_recorder.span("server.analyze"):
                             result = self._op_analyze(message, request_id)
+                    elif op == "optimize":
+                        with request_recorder.span("server.optimize"):
+                            result = self._op_optimize(message, request_id)
                     elif op == "batch":
                         with request_recorder.span("server.batch"):
                             result = self._op_batch(message, request_id)
@@ -359,6 +362,42 @@ class AnalysisServer:
         # round-trip like the batch driver so server output is
         # byte-identical to the inline path
         return {"report": Report.from_dict(data).to_dict(), "cached": False}
+
+    def _op_optimize(self, message: dict, request_id: Optional[str] = None) -> dict:
+        """One script's optimization plan, by inline ``source`` or by
+        ``path`` — the warm path for editor/JIT advisors.  Mirrors
+        ``analyze``: plan-cache lookup first, round-tripped plan dicts so
+        server responses are byte-identical to inline runs."""
+        from ..analysis.optimize import (
+            PLAN_SCHEMA_VERSION,
+            OptimizePlan,
+            optimize_source,
+            plan_cache_key,
+        )
+        from ..obs import get_recorder
+
+        source = message.get("source")
+        if source is None:
+            path = message.get("path")
+            if not path:
+                raise ValueError("optimize request needs 'source' or 'path'")
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        config = self._clamped(
+            protocol.config_from_wire(message.get("config")), request_id
+        )
+        key = plan_cache_key(source, config)
+        recorder = get_recorder()
+        if self.cache is not None:
+            data = self.cache.get(key, schema=PLAN_SCHEMA_VERSION)
+            if data is not None:
+                recorder.count("optimize.cache.hit")
+                return {"plan": data, "cached": True}
+            recorder.count("optimize.cache.miss")
+        data = optimize_source(source, config)
+        if self.cache is not None and not data.get("degraded"):
+            self.cache.put(key, data)
+        return {"plan": OptimizePlan.from_dict(data).to_dict(), "cached": False}
 
     def _op_batch(self, message: dict, request_id: Optional[str] = None) -> dict:
         inputs = message.get("inputs")

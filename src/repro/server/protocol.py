@@ -12,6 +12,12 @@ Requests are objects with an ``op`` field:
 - ``{"op": "analyze", "source": ..., "config": {...}}`` — one script
   (by ``source`` text or by ``path``); response carries the serialized
   :class:`~repro.analysis.report.Report` plus a ``cached`` flag
+- ``{"op": "optimize", "source": ..., "config": {...}}`` — one
+  script's optimization plan (by ``source`` text or by ``path``);
+  response carries the serialized
+  :class:`~repro.analysis.optimize.OptimizePlan` under ``plan`` plus a
+  ``cached`` flag (plans are content-addressed in the same result
+  cache, salted with the plan schema version)
 - ``{"op": "batch", "inputs": [...], "config": {...}}`` — files,
   directories, and glob patterns, exactly like ``repro-analyze``'s
   positional arguments; response carries per-file serialized reports

@@ -1,0 +1,112 @@
+"""Fixpoint corner cases for rtypes/dataflow.py: what happens when the
+widening bound is hit, when a cycle contains a blocking (signature-less)
+stage, and how ⊥ (dead) sources propagate.  These corners back the
+stream-type annotations the optimization advisor prints."""
+
+from repro.rtypes.dataflow import DataflowGraph, ring_invariant
+from repro.rtypes.library import signature_for
+from repro.rtypes.signatures import identity, prefix_sig
+from repro.rtypes.types import StreamType
+
+
+class TestWideningBound:
+    def test_widened_types_over_approximate(self):
+        result = ring_invariant(
+            [("cat", identity("cat")), ("sed", prefix_sig(">", "sed"))],
+            seed=StreamType.of("[a-z]+"),
+            max_iterations=4,
+        )
+        assert not result.converged
+        assert result.iterations == 4
+        assert set(result.widened) == {"cat", "sed"}
+        # after widening, cat carries ⊤ and sed the image of ⊤ under its
+        # signature — both admit iterates far beyond the cutoff depth
+        assert result.type_of("cat").line == StreamType.any().line
+        assert result.type_of("sed").admits(">" * 40 + "abc")
+
+    def test_downstream_sees_widened_result(self):
+        # src feeds a growing loop; a tap off the loop must observe the
+        # widened over-approximation, not a stale partial iterate.
+        graph = DataflowGraph()
+        graph.add_stage("src", None, seed=StreamType.of("[a-z]+"))
+        graph.add_stage("grow", prefix_sig(">", "sed"))
+        graph.add_stage("back", identity("cat"))
+        graph.add_stage("tap", identity("tee"))
+        graph.connect("src", "grow")
+        graph.connect("grow", "back")
+        graph.connect("back", "grow")
+        graph.connect("grow", "tap")
+        result = graph.infer(max_iterations=4)
+        assert not result.converged
+        # a 4-iteration unwidened run could only justify ~4 prefixes;
+        # admitting a depth-40 iterate proves the tap saw the widening
+        assert result.type_of("tap").admits(">" * 40 + "abc")
+
+    def test_generous_bound_avoids_widening(self):
+        # the same stable ring converges well under the default bound
+        result = ring_invariant(
+            [("cat", identity("cat")), ("sort", identity("sort"))],
+            seed=StreamType.of("[a-z]+"),
+        )
+        assert result.converged
+        assert not result.widened
+
+
+class TestCyclicBlocking:
+    def test_cycle_with_signatureless_stage_converges(self):
+        # `sort` in a loop has no line-map signature: its output is ⊤.
+        # The cycle must still reach a fixpoint rather than oscillate.
+        graph = DataflowGraph()
+        graph.add_stage("seed", None, seed=StreamType.of("[0-9]+"))
+        graph.add_stage("blocking", None)  # e.g. sort: no signature
+        graph.add_stage("filter", signature_for(["grep", "[0-9]"]))
+        graph.connect("seed", "blocking")
+        graph.connect("blocking", "filter")
+        graph.connect("filter", "blocking")
+        assert graph.has_cycle()
+        result = graph.infer()
+        assert result.converged
+        assert result.type_of("blocking").line == StreamType.any().line
+
+    def test_cycle_iterations_stay_small(self):
+        graph = DataflowGraph()
+        graph.add_stage("a", None, seed=StreamType.of("x+"))
+        graph.add_stage("b", None)
+        graph.connect("a", "b")
+        graph.connect("b", "a")
+        result = graph.infer()
+        assert result.converged
+        assert result.iterations <= 5
+
+
+class TestBottomSources:
+    def test_dead_seed_stays_dead_through_signatures(self):
+        graph = DataflowGraph()
+        graph.add_stage("src", None, seed=StreamType.dead())
+        graph.add_stage("map", prefix_sig(">", "sed"))
+        graph.connect("src", "map")
+        result = graph.infer()
+        assert result.converged
+        assert result.type_of("map").is_dead()
+
+    def test_dead_and_live_union_is_live(self):
+        graph = DataflowGraph()
+        graph.add_stage("dead", None, seed=StreamType.dead())
+        graph.add_stage("live", None, seed=StreamType.of("ok"))
+        graph.add_stage("join", identity("cat"))
+        graph.connect("dead", "join")
+        graph.connect("live", "join")
+        result = graph.infer()
+        assert result.converged
+        joined = result.type_of("join")
+        assert not joined.is_dead()
+        assert joined.admits("ok")
+
+    def test_unseeded_isolated_stage_defaults_to_any(self):
+        # a stage with no predecessors and no seed models an external
+        # input: assume ⊤, not ⊥, so downstream work is not erased.
+        graph = DataflowGraph()
+        graph.add_stage("orphan", identity("cat"))
+        result = graph.infer()
+        assert result.converged
+        assert result.type_of("orphan").line == StreamType.any().line
