@@ -1,0 +1,53 @@
+"""Differential correctness testing: dynamic + metamorphic oracles.
+
+The static analyzer's verdicts are cross-checked two ways —
+
+- :mod:`.dynamic` executes scripts under a real ``/bin/sh`` inside a
+  shim-confined sandbox (:mod:`.sandbox`) and compares observed
+  filesystem events against per-checker claims;
+- :mod:`.metamorphic` re-analyzes semantics-preserving rewrites of each
+  script and requires identical diagnostics.
+
+:mod:`.campaign` fans both oracles over generated (:mod:`.gen`, safe
+mode) and corpus scripts, minimizes disagreements (:mod:`.minimize`),
+and emits the deterministic precision benchmark consumed by CI.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    compare_to_baseline,
+    run_campaign,
+)
+from .dynamic import CHECKERS, Disagreement, DynamicResult
+from .dynamic import check_source as check_dynamic
+from .gen import SAFE_ARGS, SAFE_FIXTURES, ScriptGen, generate
+from .metamorphic import MetamorphicDiff, MetamorphicResult, normalize_report
+from .metamorphic import check_source as check_metamorphic
+from .minimize import minimize_lines
+from .sandbox import RunResult, Sandbox, TraceRecord, snapshot_tree, tree_diff
+
+__all__ = [
+    "CHECKERS",
+    "CampaignConfig",
+    "CampaignResult",
+    "Disagreement",
+    "DynamicResult",
+    "MetamorphicDiff",
+    "MetamorphicResult",
+    "RunResult",
+    "SAFE_ARGS",
+    "SAFE_FIXTURES",
+    "Sandbox",
+    "ScriptGen",
+    "TraceRecord",
+    "check_dynamic",
+    "check_metamorphic",
+    "compare_to_baseline",
+    "generate",
+    "minimize_lines",
+    "normalize_report",
+    "run_campaign",
+    "snapshot_tree",
+    "tree_diff",
+]

@@ -1,0 +1,272 @@
+"""The dynamic oracle: sandboxed execution vs static verdicts.
+
+Each script is executed twice in one fresh sandbox under a real
+``/bin/sh`` (shim ``PATH`` + post-hoc tree diff, no strace), and the
+observations are compared per checker:
+
+- **idempotence** — a second run whose ``mkdir``/``ln`` invocations
+  fail where the first run's succeeded is an observed violation; a
+  static warning with no observed violation is an FP *candidate* (the
+  execution takes one path; a warning on an untaken path still counts
+  here, which makes the benchmark an upper bound on FPs), and an
+  observed violation with no warning is an FN.
+- **deletion** — a ``dangerous-deletion`` marked ``always`` claims the
+  deletion *definitely* reaches the filesystem root; an execution that
+  completes while deleting only sandbox-relative paths refutes it.
+  ``may``-findings are not dynamically falsifiable (the dangerous
+  assignment may simply not occur on this run) and are left unchecked.
+- **platform** — a flag diagnosed as unavailable on the platform we are
+  running on, whose probe invocation nevertheless succeeds, is an FP.
+- **streams** — an ``always`` ``redirect-clobbers-input`` claims the
+  named input file is truncated before it is read; if the file's bytes
+  are unchanged after the run the claim is refuted.
+- **races** — inherently scheduling-dependent, never dynamically
+  falsified here; the metamorphic oracle covers their stability.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analyzer import analyze
+from .gen import SAFE_ARGS
+from .sandbox import RunResult, Sandbox, run_in_fresh_sandbox
+
+#: diagnostic code -> checker bucket for the precision benchmark
+CODE_TO_CHECKER = {
+    "dangerous-deletion": "deletion",
+    "home-deletion": "deletion",
+    "idempotence": "idempotence",
+    "platform-flag": "platform",
+    "redirect-clobbers-input": "streams",
+    "dead-stream": "streams",
+    "stream-type-error": "streams",
+    "race-read-write": "races",
+    "race-write-write": "races",
+    "race-missing-wait": "races",
+    "race-toctou": "races",
+}
+
+CHECKERS = ("deletion", "idempotence", "streams", "platform", "races")
+
+#: commands whose re-run failure constitutes an idempotence violation
+_CREATORS = frozenset({"mkdir", "ln"})
+
+_PLATFORM_MSG = re.compile(r"(\S+) (--?\S+) is not available on (\S+);")
+_CLOBBER_MSG = re.compile(r"truncates '([^']+)'")
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One static/dynamic disagreement, with its reproducer."""
+
+    checker: str
+    kind: str  # "fp" | "fn"
+    code: str
+    detail: str
+    reproducer: str
+    minimized: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "checker": self.checker,
+            "kind": self.kind,
+            "code": self.code,
+            "detail": self.detail,
+            "reproducer": self.reproducer,
+            "minimized": self.minimized or self.reproducer,
+        }
+
+
+@dataclass
+class DynamicResult:
+    source: str
+    executed: bool
+    disagreements: List[Disagreement] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+    skipped_reason: str = ""
+
+
+def _host_platform() -> str:
+    return "macos" if _platform.system() == "Darwin" else "linux"
+
+
+def _creator_failures(run: RunResult) -> List[str]:
+    return [
+        f"{rec.name} {' '.join(rec.args)}"
+        for rec in run.trace
+        if rec.name in _CREATORS and rec.status != 0
+    ]
+
+
+def check_source(
+    source: str,
+    base_dir: str,
+    tag: str,
+    args: Optional[List[str]] = None,
+    analyze_kwargs: Optional[dict] = None,
+    timeout: float = 10.0,
+) -> DynamicResult:
+    """Run the dynamic oracle on one script."""
+    kwargs = dict(analyze_kwargs or {})
+    try:
+        report = analyze(source, **kwargs)
+    except Exception as exc:  # analyze() never raises by contract, but stay safe
+        return DynamicResult(source, False, skipped_reason=f"analyze failed: {exc}")
+    if any(
+        d.code in ("syntax-error", "parse-error", "internal-error")
+        for d in report.diagnostics
+    ):
+        return DynamicResult(source, False, skipped_reason="not analyzable")
+
+    runs = run_in_fresh_sandbox(
+        source, base_dir, tag, runs=2,
+        args=args if args is not None else SAFE_ARGS, timeout=timeout,
+    )
+    first, second = runs[0], runs[1]
+    if first.timed_out or second.timed_out:
+        return DynamicResult(source, False, skipped_reason="execution timed out")
+
+    result = DynamicResult(source, True)
+    by_checker: Dict[str, List] = {name: [] for name in CHECKERS}
+    for diag in report.diagnostics:
+        checker = CODE_TO_CHECKER.get(diag.code)
+        if checker is not None:
+            by_checker[checker].append(diag)
+
+    _check_idempotence(result, by_checker["idempotence"], first, second)
+    _check_deletion(result, by_checker["deletion"], first)
+    _check_platform(result, by_checker["platform"], base_dir, tag)
+    _check_streams(result, by_checker["streams"], first)
+    # races: counted as analyzed but never dynamically falsified
+    return result
+
+
+def _check_idempotence(
+    result: DynamicResult, diags: List, first: RunResult, second: RunResult
+) -> None:
+    result.checked.append("idempotence")
+    first_failures = set(_creator_failures(first))
+    observed = [f for f in _creator_failures(second) if f not in first_failures]
+    if diags and not observed:
+        detail = (
+            "static warns the script is not re-runnable, but every "
+            "mkdir/ln that failed on the second run had already failed "
+            "identically on the first (no succeed-then-fail)"
+            if first_failures
+            else "static warns the script is not re-runnable, but a "
+            "second execution repeated every mkdir/ln cleanly"
+        )
+        for diag in diags:
+            result.disagreements.append(
+                Disagreement(
+                    checker="idempotence",
+                    kind="fp",
+                    code=diag.code,
+                    detail=detail,
+                    reproducer=result.source,
+                )
+            )
+    elif observed and not diags:
+        result.disagreements.append(
+            Disagreement(
+                checker="idempotence",
+                kind="fn",
+                code="idempotence",
+                detail=(
+                    "second run failed where the first succeeded "
+                    f"({'; '.join(sorted(observed))}) with no static warning"
+                ),
+                reproducer=result.source,
+            )
+        )
+
+
+def _check_deletion(result: DynamicResult, diags: List, first: RunResult) -> None:
+    always = [d for d in diags if d.code == "dangerous-deletion" and d.always]
+    if not always:
+        return  # may-findings are not dynamically falsifiable
+    result.checked.append("deletion")
+    deleted = [p for p, op in first.diff.items() if op == "deleted"]
+    # every observed deletion is sandbox-relative by construction; a
+    # *definite* root deletion claim on a run that completed is refuted
+    if first.returncode == 0:
+        for diag in always:
+            result.disagreements.append(
+                Disagreement(
+                    checker="deletion",
+                    kind="fp",
+                    code=diag.code,
+                    detail=(
+                        "static claims the deletion always reaches the fs "
+                        f"root, but execution completed deleting only "
+                        f"{deleted or 'nothing'} inside the sandbox"
+                    ),
+                    reproducer=result.source,
+                )
+            )
+
+
+def _check_platform(
+    result: DynamicResult, diags: List, base_dir: str, tag: str
+) -> None:
+    host = _host_platform()
+    probed = False
+    for diag in diags:
+        match = _PLATFORM_MSG.search(diag.message)
+        if not match:
+            continue
+        command, flag, claimed_platform = match.groups()
+        if claimed_platform != host:
+            continue  # can only falsify claims about the platform we run on
+        probed = True
+        sandbox = Sandbox(f"{base_dir}/{tag}.probe")
+        sandbox.populate()
+        probe = sandbox.run(f"{command} {flag} > /dev/null 2>&1\n", args=[])
+        if probe.returncode == 0:
+            result.disagreements.append(
+                Disagreement(
+                    checker="platform",
+                    kind="fp",
+                    code=diag.code,
+                    detail=(
+                        f"`{command} {flag}` diagnosed unavailable on {host}, "
+                        "but the probe invocation succeeded there"
+                    ),
+                    reproducer=result.source,
+                )
+            )
+    if probed:
+        result.checked.append("platform")
+
+
+def _check_streams(result: DynamicResult, diags: List, first: RunResult) -> None:
+    clobbers = [
+        d for d in diags if d.code == "redirect-clobbers-input" and d.always
+    ]
+    if not clobbers:
+        return
+    result.checked.append("streams")
+    for diag in clobbers:
+        match = _CLOBBER_MSG.search(diag.message)
+        if not match:
+            continue
+        path = match.group(1)
+        before = first.before.get(path)
+        after = first.after.get(path)
+        if before is not None and after == before and (before[1] or b"") != b"":
+            result.disagreements.append(
+                Disagreement(
+                    checker="streams",
+                    kind="fp",
+                    code=diag.code,
+                    detail=(
+                        f"static claims `{path}` is always truncated before "
+                        "being read, but its bytes are unchanged after the run"
+                    ),
+                    reproducer=result.source,
+                )
+            )

@@ -1,0 +1,262 @@
+"""Deterministic grammar-based shell-script generator (ShellFuzzer-style).
+
+Everything is driven by a seeded ``random.Random`` — same seed, same
+script, no wall-clock or OS dependence — so fuzz failures reproduce
+with just the seed number.  The grammar deliberately covers every
+construct the parser and engine handle (pipelines, lists, redirects,
+loops, case, subshells, command/arith substitution, here-strings via
+quoting, background jobs) plus a mutation pass that damages otherwise
+well-formed scripts to exercise the syntax-error and recovery paths.
+
+Two modes:
+
+- the default (fuzz) grammar reaches for hostile inputs — ``$HOME``,
+  absolute paths, ``..``, unset variables, nonexistent commands, and a
+  mutation pass that breaks syntax;
+- ``safe=True`` generates *executable* scripts for the dynamic oracle:
+  every path is sandbox-relative, every referenced variable is assigned
+  in a deterministic preamble, every command is on the
+  :data:`SAFE_COMMANDS` allowlist, loops provably terminate, and the
+  mutation pass is disabled so the script always parses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+NAMES = ["x", "dir", "target", "out", "tmp", "STEAMROOT", "i", "f"]
+COMMANDS = [
+    "echo", "rm", "mkdir", "cat", "grep", "mv", "cp", "touch",
+    "ls", "sed", "head", "wc", "test", "frobnicate",
+]
+FLAGS = ["-r", "-f", "-rf", "-p", "-n", "-e", "--force", "-x"]
+WORDS = [
+    "file.txt", "/tmp/out", "$HOME/cache", '"$x"', "$1", "${dir}/sub",
+    "log-*.txt", "'a b'", "data", "*", "..", "$(basename $0)", "-",
+]
+PATTERNS = ["*.txt", "a|b", "[0-9]*", "yes", "*"]
+REDIRECTS = ["> /tmp/log", ">> out.txt", "2>/dev/null", "< file.txt", "2>&1"]
+OPTSTRINGS = ["ab:c", "xy", "f:o:", ":q"]
+
+#: commands the safe grammar may emit — the execution sandbox builds its
+#: logging shims from exactly this list (plus ``[`` for ``test``)
+SAFE_COMMANDS = [
+    "echo", "rm", "mkdir", "cat", "grep", "mv", "cp", "touch",
+    "ls", "sed", "head", "wc", "test", "sort", "true", "basename", "ln",
+]
+#: sandbox-relative words only: no ``$HOME``, no absolute paths, no
+#: ``..`` — with the preamble below, every path stays under the sandbox
+SAFE_WORDS = [
+    "file.txt", "out.txt", '"$x"', "$1", "${dir}/sub", "log-*.txt",
+    "'a b'", "data", "work", "$(basename $0)",
+]
+SAFE_REDIRECTS = ["> log.out", ">> out.txt", "2>/dev/null", "< file.txt", "2>&1"]
+SAFE_CASE_SUBJECTS = ["$1", '"$1"', "$x", '"$#"']
+
+#: files the sandbox pre-creates so generated commands have something to
+#: chew on; a trailing ``/`` marks a directory.  ``absent.flag`` is
+#: deliberately NOT here (and not in SAFE_WORDS): safe while-loops test
+#: it, so they run zero iterations and provably terminate.
+SAFE_FIXTURES: Dict[str, str] = {
+    "file.txt": "alpha\nbeta\ngamma\n",
+    "data": "1\n2\n3\n",
+    "out.txt": "",
+    "log-a.txt": "log line a\n",
+    "log-b.txt": "log line b\n",
+    "a b": "spaced name\n",
+    "work/": "",
+    "work/sub": "sub contents\n",
+}
+
+#: deterministic variable preamble for safe scripts: every name the
+#: grammar can interpolate resolves to a sandbox-relative path, so
+#: ``rm ${dir}/sub`` can never escape (an unset ``dir`` would make it
+#: ``rm /sub``)
+SAFE_PREAMBLE = [
+    "x=file.txt",
+    "dir=work",
+    "target=data",
+    "out=out.txt",
+    "tmp=work",
+    "STEAMROOT=work",
+    "i=0",
+    "f=log-a.txt",
+]
+
+#: argv the dynamic oracle passes when executing safe scripts (`$1` etc.
+#: must be sandbox-relative for the same reason as the preamble)
+SAFE_ARGS = ["data", "out.txt"]
+
+
+class ScriptGen:
+    """One seeded generator instance; :meth:`script` returns the text."""
+
+    MAX_DEPTH = 3
+
+    def __init__(self, seed: int, safe: bool = False):
+        self.rng = random.Random(seed)
+        self.safe = safe
+        self.commands = SAFE_COMMANDS if safe else COMMANDS
+        self.words = SAFE_WORDS if safe else WORDS
+        self.redirects = SAFE_REDIRECTS if safe else REDIRECTS
+        self.case_subjects = (
+            SAFE_CASE_SUBJECTS if safe
+            else ["$1", '"$1"', "$x", "$(uname)", '"$#"']
+        )
+
+    # -- words ---------------------------------------------------------------
+
+    def word(self) -> str:
+        return self.rng.choice(self.words)
+
+    def simple(self) -> str:
+        parts = [self.rng.choice(self.commands)]
+        if self.rng.random() < 0.4:
+            parts.append(self.rng.choice(FLAGS))
+        parts.extend(self.word() for _ in range(self.rng.randint(0, 3)))
+        if self.rng.random() < 0.25:
+            parts.append(self.rng.choice(self.redirects))
+        return " ".join(parts)
+
+    def assignment(self) -> str:
+        name = self.rng.choice(NAMES)
+        if self.rng.random() < 0.3:
+            return f"{name}=$({self.simple()})"
+        return f"{name}={self.word()}"
+
+    # -- statements ----------------------------------------------------------
+
+    def statement(self, depth: int) -> str:
+        choices = [
+            lambda: self.simple(),
+            lambda: self.assignment(),
+            lambda: self.pipeline(),
+            lambda: self.list_stmt(),
+        ]
+        if depth < self.MAX_DEPTH:
+            choices += [
+                lambda: self.if_stmt(depth),
+                lambda: self.for_stmt(depth),
+                lambda: self.while_stmt(depth),
+                lambda: self.case_stmt(depth),
+                lambda: self.subshell(depth),
+                lambda: self.background(),
+                lambda: self.getopts_loop(depth),
+            ]
+        return self.rng.choice(choices)()
+
+    def pipeline(self) -> str:
+        n = self.rng.randint(2, 3)
+        return " | ".join(self.simple() for _ in range(n))
+
+    def list_stmt(self) -> str:
+        op = self.rng.choice([" && ", " || ", "; "])
+        return op.join(self.simple() for _ in range(2))
+
+    def if_stmt(self, depth: int) -> str:
+        cond = self.rng.choice(
+            [f"[ -f {self.word()} ]", f"[ -d {self.word()} ]", self.simple()]
+        )
+        body = self.block(depth + 1)
+        if self.rng.random() < 0.5:
+            other = self.block(depth + 1)
+            return f"if {cond}; then\n{body}\nelse\n{other}\nfi"
+        return f"if {cond}; then\n{body}\nfi"
+
+    def for_stmt(self, depth: int) -> str:
+        var = self.rng.choice(NAMES)
+        items = " ".join(self.word() for _ in range(self.rng.randint(1, 4)))
+        return f"for {var} in {items}; do\n{self.block(depth + 1)}\ndone"
+
+    def while_stmt(self, depth: int) -> str:
+        if self.safe:
+            # `absent.flag` is never created by fixtures or reachable
+            # words, so the loop body runs zero times: guaranteed
+            # termination while still exercising loop analysis
+            return f"while [ -e absent.flag ]; do\n{self.block(depth + 1)}\ndone"
+        return (
+            f"while [ -e {self.word()} ]; do\n{self.block(depth + 1)}\ndone"
+        )
+
+    def getopts_loop(self, depth: int) -> str:
+        """An option-parsing loop (the classic script prologue)."""
+        optstring = self.rng.choice(OPTSTRINGS)
+        var = self.rng.choice(["opt", "flag", "o"])
+        if self.rng.random() < 0.5:
+            letters = [c for c in optstring if c != ":"]
+            arms = "\n".join(
+                f"    {letter}) {self.simple()} ;;" for letter in letters
+            )
+            body = (
+                f'  case "${var}" in\n{arms}\n'
+                f"    ?) exit 2 ;;\n  esac"
+            )
+        else:
+            body = f"  {self.simple()}"
+        return (
+            f'while getopts "{optstring}" {var}; do\n{body}\ndone'
+        )
+
+    def argc_guard(self) -> str:
+        """The ubiquitous argument-count prologue guard."""
+        count = self.rng.randint(1, 3)
+        op = self.rng.choice(["-lt", "-ne", "-gt"])
+        action = self.rng.choice(
+            ["exit 1", 'echo "usage: $0" >&2; exit 1', "shift"]
+        )
+        return f'if [ "$#" {op} {count} ]; then {action}; fi'
+
+    def case_stmt(self, depth: int) -> str:
+        subject = self.rng.choice(self.case_subjects)
+        arms = []
+        for _ in range(self.rng.randint(1, 3)):
+            arms.append(
+                f"  {self.rng.choice(PATTERNS)}) {self.simple()} ;;"
+            )
+        body = "\n".join(arms)
+        return f"case {subject} in\n{body}\nesac"
+
+    def subshell(self, depth: int) -> str:
+        return f"({self.block(depth + 1)})"
+
+    def background(self) -> str:
+        return f"{self.simple()} &"
+
+    def block(self, depth: int) -> str:
+        n = self.rng.randint(1, 2)
+        return "\n".join(self.statement(depth) for _ in range(n))
+
+    # -- whole scripts -------------------------------------------------------
+
+    def script(self) -> str:
+        lines: List[str] = []
+        if self.rng.random() < 0.5:
+            lines.append("#!/bin/sh")
+        if self.safe:
+            lines.extend(SAFE_PREAMBLE)
+        if self.rng.random() < 0.3:
+            # start like real scripts do: guard the argument count
+            lines.append(self.argc_guard())
+        for _ in range(self.rng.randint(2, 8)):
+            lines.append(self.statement(0))
+        text = "\n".join(lines) + "\n"
+        if not self.safe and self.rng.random() < 0.2:
+            text = self.mutate(text)
+        return text
+
+    def mutate(self, text: str) -> str:
+        """Damage a well-formed script (truncation, bracket injection,
+        quote removal) to exercise the error paths."""
+        kind = self.rng.randrange(3)
+        if kind == 0 and len(text) > 4:
+            return text[: self.rng.randrange(1, len(text))]
+        if kind == 1:
+            pos = self.rng.randrange(len(text))
+            return text[:pos] + self.rng.choice(")('\"`;|") + text[pos:]
+        return text.replace('"', "", 1)
+
+
+def generate(seed: int, safe: bool = False) -> str:
+    """The script for one seed (deterministic)."""
+    return ScriptGen(seed, safe=safe).script()

@@ -1,0 +1,108 @@
+"""The metamorphic oracle: diagnostics must be invariant under
+semantics-preserving rewrites.
+
+For each rewrite in :data:`repro.shell.rewrite.REWRITES` the source is
+transformed, re-analyzed, and the two diagnostic sets compared after
+normalization.  Normalization removes what a rewrite is *allowed* to
+change — positions (every rewrite moves text), position fragments
+embedded in messages, and (for the quote rewrite only) double-quote
+characters in echoed command labels — and nothing else: any remaining
+difference is an analyzer bug, either in the printer or in an
+order/name-sensitive checker.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...shell.rewrite import REWRITES
+from ..analyzer import analyze
+
+#: ``line:col`` fragments embedded in messages (e.g. hazard provenance)
+_POS = re.compile(r"\b\d+:\d+\b")
+
+#: rewrites that change the surface text of commands, whose echoed
+#: labels may therefore legally differ by quote characters
+_TEXT_CHANGING = frozenset({"quotes"})
+
+NormDiag = Tuple[str, str, str, bool, str, Tuple[str, ...]]
+
+
+@dataclass
+class MetamorphicDiff:
+    """One invariance violation."""
+
+    rewrite: str
+    only_original: List[NormDiag]
+    only_rewritten: List[NormDiag]
+    rewritten_source: str = ""
+
+
+@dataclass
+class MetamorphicResult:
+    source: str
+    diffs: List[MetamorphicDiff] = field(default_factory=list)
+    rewrites_applied: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diffs
+
+
+def normalize_report(report, strip_quotes: bool = False) -> List[NormDiag]:
+    """Rewrite-invariant projection of a report's diagnostics."""
+    out: List[NormDiag] = []
+    for diag in report.diagnostics:
+        message = _POS.sub("L:C", diag.message)
+        related = tuple(_POS.sub("L:C", r) for r in (diag.related or ()))
+        witness = getattr(diag, "witness", "") or ""
+        if strip_quotes:
+            message = message.replace('"', "")
+            related = tuple(r.replace('"', "") for r in related)
+            witness = witness.replace('"', "")
+        out.append(
+            (diag.code, message, diag.severity.name, diag.always, witness, related)
+        )
+    return sorted(out)
+
+
+def check_source(
+    source: str,
+    analyze_fn: Optional[Callable] = None,
+    rewrites: Optional[Dict[str, Callable[[str], str]]] = None,
+    **analyze_kwargs,
+) -> MetamorphicResult:
+    """Apply every rewrite and compare normalized diagnostics."""
+    run = analyze_fn if analyze_fn is not None else analyze
+    result = MetamorphicResult(source=source)
+    try:
+        base_report = run(source, **analyze_kwargs)
+    except Exception:
+        return result  # un-analyzable input is the fuzz harness's domain
+    for name, rewrite in (rewrites if rewrites is not None else REWRITES).items():
+        try:
+            rewritten = rewrite(source)
+        except Exception:
+            continue  # rewrite refused the construct: identity relation
+        if rewritten == source:
+            continue
+        strip = name in _TEXT_CHANGING
+        base = normalize_report(base_report, strip_quotes=strip)
+        try:
+            other = normalize_report(run(rewritten, **analyze_kwargs), strip_quotes=strip)
+        except Exception:
+            other = None
+        result.rewrites_applied.append(name)
+        if other is None or base != other:
+            other = other or []
+            result.diffs.append(
+                MetamorphicDiff(
+                    rewrite=name,
+                    only_original=[d for d in base if d not in other],
+                    only_rewritten=[d for d in other if d not in base],
+                    rewritten_source=rewritten,
+                )
+            )
+    return result

@@ -1,0 +1,53 @@
+"""Line-granular reproducer minimization (greedy ddmin).
+
+Given a script and a predicate that holds on it (e.g. "the metamorphic
+oracle still reports a diff" or "the static verdict still disagrees
+with execution"), repeatedly drop lines while the predicate keeps
+holding.  Deterministic: lines are probed in a fixed order, largest
+chunks first, so the same input always minimizes to the same output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+def minimize_lines(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_probes: int = 200,
+) -> str:
+    """The smallest line-subset of ``source`` still satisfying
+    ``predicate`` (greedy, chunked).  Returns ``source`` unchanged when
+    the predicate does not hold on it (nothing to preserve)."""
+    lines = source.splitlines()
+    if not predicate(source):
+        return source
+    probes = 0
+
+    def attempt(candidate: List[str]) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        text = "\n".join(candidate) + ("\n" if candidate else "")
+        try:
+            return predicate(text)
+        except Exception:
+            return False
+
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        changed = True
+        while changed:
+            changed = False
+            index = 0
+            while index < len(lines):
+                candidate = lines[:index] + lines[index + chunk:]
+                if candidate != lines and attempt(candidate):
+                    lines = candidate
+                    changed = True
+                else:
+                    index += chunk
+        chunk //= 2
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,282 @@
+"""Tmpdir-confined execution sandbox for the dynamic oracle.
+
+strace-free observation: every allowlisted command is fronted by a shim
+on ``PATH`` that appends one record to a trace file (command, exit
+status, working directory, argv) and then runs the real binary, while
+the filesystem effect of the whole run is recovered post-hoc by diffing
+a full tree snapshot taken before and after.  Shim appends are single
+``printf`` calls into an ``O_APPEND`` descriptor, so records from
+concurrent background jobs do not interleave mid-line.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import stat
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .gen import SAFE_ARGS, SAFE_COMMANDS, SAFE_FIXTURES
+
+#: field separator inside one trace record (cannot occur in sane argv)
+SEP = "\x1f"
+
+#: names reserved for sandbox bookkeeping, excluded from tree snapshots
+CONTROL = frozenset({".shims", ".trace", "script.sh"})
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logged command invocation."""
+
+    name: str
+    status: int
+    cwd: str
+    args: Tuple[str, ...]
+
+
+@dataclass
+class RunResult:
+    """The observable outcome of one sandboxed execution."""
+
+    returncode: int
+    stdout: str
+    stderr: str
+    timed_out: bool
+    before: Dict[str, Tuple[str, Optional[bytes]]]
+    after: Dict[str, Tuple[str, Optional[bytes]]]
+    trace: List[TraceRecord] = field(default_factory=list)
+
+    @property
+    def diff(self) -> Dict[str, str]:
+        return tree_diff(self.before, self.after)
+
+
+#: Shims confine as well as log: any operand that is an absolute path
+#: outside the sandbox (or tries to climb out with ``..``) aborts the
+#: invocation with status 125 before the real binary runs.  Safe-mode
+#: scripts never trip this; it is the backstop for hand-written corpora
+#: handed to ``repro-difftest``.
+_SHIM_TEMPLATE = """#!/bin/sh
+# sandbox shim: confine to the sandbox, log the invocation, run the real binary
+_out=""
+for _a in "$@"; do
+    _out="${{_out}}{sep}${{_a}}"
+    case "$_a" in
+        -*|/dev/null|/dev/stdin|/dev/stdout|/dev/stderr) ;;
+        {root}/*|{root}) ;;
+        /*|..|../*|*/..|*/../*)
+            printf '%s{sep}125{sep}%s%s\\n' {name} "$PWD" "$_out" >> {trace}
+            echo "sandbox: refused operand $_a" >&2
+            exit 125 ;;
+    esac
+done
+{real} "$@"
+_st=$?
+printf '%s{sep}%s{sep}%s%s\\n' {name} "$_st" "$PWD" "$_out" >> {trace}
+exit $_st
+"""
+
+
+def snapshot_tree(root: str) -> Dict[str, Tuple[str, Optional[bytes]]]:
+    """Full tree state: relpath -> (kind, payload).
+
+    Kinds: ``file`` (payload = bytes), ``dir`` (payload None — empty
+    directories are captured too), ``symlink`` (payload = target bytes,
+    link not followed).  Sandbox control files are excluded.
+    """
+    state: Dict[str, Tuple[str, Optional[bytes]]] = {}
+    for dirpath, dirnames, filenames in os.walk(root, followlinks=False):
+        rel_dir = os.path.relpath(dirpath, root)
+        dirnames[:] = [
+            d for d in dirnames
+            if not (rel_dir == "." and d in CONTROL)
+        ]
+        if rel_dir != ".":
+            state[rel_dir] = ("dir", None)
+        for name in filenames:
+            if rel_dir == "." and name in CONTROL:
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.normpath(os.path.join(rel_dir, name)) if rel_dir != "." else name
+            if os.path.islink(path):
+                state[rel] = ("symlink", os.readlink(path).encode())
+            else:
+                try:
+                    with open(path, "rb") as handle:
+                        state[rel] = ("file", handle.read())
+                except OSError:
+                    state[rel] = ("file", None)
+        for name in list(dirnames):
+            # record symlinked dirs as symlinks without descending
+            path = os.path.join(dirpath, name)
+            if os.path.islink(path):
+                rel = os.path.normpath(os.path.join(rel_dir, name)) if rel_dir != "." else name
+                state[rel] = ("symlink", os.readlink(path).encode())
+                dirnames.remove(name)
+    return state
+
+
+def tree_diff(
+    before: Dict[str, Tuple[str, Optional[bytes]]],
+    after: Dict[str, Tuple[str, Optional[bytes]]],
+) -> Dict[str, str]:
+    """Per-path change classification: created / deleted / modified."""
+    diff: Dict[str, str] = {}
+    for path in before.keys() - after.keys():
+        diff[path] = "deleted"
+    for path in after.keys() - before.keys():
+        diff[path] = "created"
+    for path in before.keys() & after.keys():
+        if before[path] != after[path]:
+            diff[path] = "modified"
+    return dict(sorted(diff.items()))
+
+
+class Sandbox:
+    """One confined execution environment under ``root``."""
+
+    def __init__(self, root: str, commands: Optional[List[str]] = None):
+        self.root = os.path.abspath(root)
+        self.shim_dir = os.path.join(self.root, ".shims")
+        self.trace_path = os.path.join(self.root, ".trace")
+        self.script_path = os.path.join(self.root, "script.sh")
+        self.commands = list(commands if commands is not None else SAFE_COMMANDS)
+        os.makedirs(self.root, exist_ok=True)
+        self._build_shims()
+
+    # -- setup ---------------------------------------------------------------
+
+    def populate(self, fixtures: Optional[Dict[str, str]] = None) -> None:
+        """Create the fixture tree (trailing ``/`` marks a directory)."""
+        for rel, content in (fixtures if fixtures is not None else SAFE_FIXTURES).items():
+            target = os.path.join(self.root, rel)
+            if rel.endswith("/"):
+                os.makedirs(target, exist_ok=True)
+            else:
+                os.makedirs(os.path.dirname(target) or self.root, exist_ok=True)
+                with open(target, "w") as handle:
+                    handle.write(content)
+
+    def _build_shims(self) -> None:
+        os.makedirs(self.shim_dir, exist_ok=True)
+        for name in set(self.commands) | {"["}:
+            lookup = "test" if name == "[" else name
+            real = shutil.which(lookup)
+            if real is None:
+                continue
+            shim_path = os.path.join(self.shim_dir, name)
+            body = _SHIM_TEMPLATE.format(
+                sep=SEP,
+                real=_sh_quote(real),
+                name=_sh_quote(lookup),
+                trace=_sh_quote(self.trace_path),
+                root=self.root,
+            )
+            with open(shim_path, "w") as handle:
+                handle.write(body)
+            os.chmod(shim_path, os.stat(shim_path).st_mode | stat.S_IEXEC)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        source: str,
+        args: Optional[List[str]] = None,
+        timeout: float = 10.0,
+    ) -> RunResult:
+        """Execute the script under a real ``/bin/sh`` inside the sandbox.
+
+        ``PATH`` contains only the shim directory, so any command off
+        the allowlist fails with 127 instead of touching the host; the
+        working directory is the sandbox root, stdin is ``/dev/null``,
+        and ``HOME`` points inside the sandbox.
+        """
+        with open(self.script_path, "w") as handle:
+            handle.write(source)
+        try:
+            os.remove(self.trace_path)
+        except FileNotFoundError:
+            pass
+        before = snapshot_tree(self.root)
+        home = os.path.join(self.root, ".shims")  # inert, pre-existing
+        env = {
+            "PATH": self.shim_dir,
+            "HOME": home,
+            "LC_ALL": "C",
+        }
+        timed_out = False
+        try:
+            proc = subprocess.run(
+                ["/bin/sh", "script.sh", *(args if args is not None else SAFE_ARGS)],
+                cwd=self.root,
+                env=env,
+                stdin=subprocess.DEVNULL,
+                capture_output=True,
+                text=True,
+                timeout=timeout,
+            )
+            returncode, stdout, stderr = proc.returncode, proc.stdout, proc.stderr
+        except subprocess.TimeoutExpired as exc:
+            timed_out = True
+            returncode = -1
+            stdout = (exc.stdout or b"").decode("utf-8", "replace") \
+                if isinstance(exc.stdout, bytes) else (exc.stdout or "")
+            stderr = (exc.stderr or b"").decode("utf-8", "replace") \
+                if isinstance(exc.stderr, bytes) else (exc.stderr or "")
+        after = snapshot_tree(self.root)
+        return RunResult(
+            returncode=returncode,
+            stdout=stdout,
+            stderr=stderr,
+            timed_out=timed_out,
+            before=before,
+            after=after,
+            trace=self._read_trace(),
+        )
+
+    def _read_trace(self) -> List[TraceRecord]:
+        records: List[TraceRecord] = []
+        try:
+            with open(self.trace_path) as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return records
+        for line in lines:
+            fields = line.split(SEP)
+            if len(fields) < 3:
+                continue
+            name, status_text, cwd = fields[0], fields[1], fields[2]
+            try:
+                status = int(status_text)
+            except ValueError:
+                continue
+            records.append(
+                TraceRecord(
+                    name=name, status=status, cwd=cwd, args=tuple(fields[3:])
+                )
+            )
+        return records
+
+
+def _sh_quote(text: str) -> str:
+    return "'" + text.replace("'", "'\\''") + "'"
+
+
+def run_in_fresh_sandbox(
+    source: str,
+    base_dir: str,
+    tag: str,
+    runs: int = 1,
+    args: Optional[List[str]] = None,
+    fixtures: Optional[Dict[str, str]] = None,
+    timeout: float = 10.0,
+) -> List[RunResult]:
+    """Execute ``source`` ``runs`` times in ONE fresh sandbox (the
+    repeated-run form the idempotence oracle needs), returning the
+    result of each run in order."""
+    sandbox = Sandbox(os.path.join(base_dir, tag))
+    sandbox.populate(fixtures)
+    return [sandbox.run(source, args=args, timeout=timeout) for _ in range(runs)]

@@ -33,6 +33,7 @@ WRITE_OPS = frozenset({FsOp.WRITE, FsOp.CREATE, FsOp.DELETE})
 READ_OPS = frozenset({FsOp.READ, FsOp.LIST})
 
 _SYM_SEGMENT = re.compile(r"^<v(-?\d+)>$")
+_SYM_ANY = re.compile(r"<v(-?\d+)>")
 
 
 @dataclass(frozen=True)
@@ -135,6 +136,40 @@ class EffectGraph:
         self.edges = edges
         self.store = store
         self._languages: Dict[str, Regex] = {}
+        # Canonical display names for symbolic segments.  Raw trace paths
+        # render variables as ``<vN>`` where N comes from a process-global
+        # counter — deterministic *identity*, but not a deterministic
+        # *rendering*: the same script analyzed twice (or before/after a
+        # semantics-preserving rewrite) shows different numbers.  Number
+        # the variables per graph in trace order instead, preferring the
+        # variable's source label (``$1``, ``$x``) when it has one.
+        self._canonical: Dict[int, str] = {}
+        for access in accesses:
+            for match in _SYM_ANY.finditer(access.path):
+                self._canonical_name(int(match.group(1)))
+
+    def _canonical_name(self, vid: int) -> str:
+        if vid < 0:
+            return f"<v{vid}>"  # abstract roots (e.g. cwd) keep their tag
+        name = self._canonical.get(vid)
+        if name is None:
+            label = ""
+            if self.store is not None and vid in self.store:
+                label = self.store.label(vid)
+            if label and label != f"v{vid}":
+                name = f"<{label}>"
+            else:
+                name = f"<sym{len(self._canonical) + 1}>"
+            self._canonical[vid] = name
+        return name
+
+    def display(self, path: str) -> str:
+        """Human form of a trace path with *stable* symbolic segments:
+        per-graph canonical numbering instead of raw allocator ids."""
+        renamed = _SYM_ANY.sub(
+            lambda m: self._canonical_name(int(m.group(1))), path
+        )
+        return display_path(renamed)
 
     # -- concurrency --------------------------------------------------------
 
@@ -216,14 +251,14 @@ class EffectGraph:
             task = "fg" if node.task == 0 else f"bg#{node.task}"
             summary = []
             if node.reads:
-                summary.append("reads " + ",".join(sorted(map(display_path, node.reads))))
+                summary.append("reads " + ",".join(sorted(map(self.display, node.reads))))
             if node.writes | node.creates:
                 summary.append(
                     "writes "
-                    + ",".join(sorted(map(display_path, node.writes | node.creates)))
+                    + ",".join(sorted(map(self.display, node.writes | node.creates)))
                 )
             if node.deletes:
-                summary.append("deletes " + ",".join(sorted(map(display_path, node.deletes))))
+                summary.append("deletes " + ",".join(sorted(map(self.display, node.deletes))))
             lines.append(f"[{idx}] ({task}) {node.label()}: " + "; ".join(summary))
         for edge in self.edges:
             lines.append(f"    {edge.src} -{edge.kind}-> {edge.dst}")

@@ -85,7 +85,7 @@ def find_hazards(graph: EffectGraph) -> List[Hazard]:
                 continue  # metadata checks feed the TOCTOU rule instead
             if graph.may_alias(a, b) is None:
                 continue
-            shown = display_path(b.path if b.task == 0 else a.path)
+            shown = graph.display(b.path if b.task == 0 else a.path)
             anchor = _anchor(a, b)
             related = (_describe(a), _describe(b))
             if a.is_write and b.is_write:
@@ -175,7 +175,7 @@ def _find_toctou(graph: EffectGraph, material: List[Access], add) -> None:
                     continue
                 if graph.may_alias(check, writer) is None:
                     continue
-                shown = display_path(check.path)
+                shown = graph.display(check.path)
                 add(Hazard(
                     code="race-toctou",
                     message=(

@@ -20,8 +20,10 @@ from .base import Checker
 
 #: Paths that touch the root when deleted: "/", "//", "/x", "/./x",
 #: "/../x", ... (a leading run of slashes and dot segments followed by at
-#: most one real segment).
-DANGER_PATTERN = r"/+((\.{1,2})/+)*(\.{1,2}|[^/\n]*)"
+#: most one real segment, optionally followed by trailing slashes and dot
+#: segments — ``rm -rf /opt/`` and ``rm -rf /opt/..`` are just as fatal
+#: as ``rm -rf /opt``).
+DANGER_PATTERN = r"/+((\.{1,2})/+)*(\.{1,2}|[^/\n]*)(/+(\.{1,2})?)*"
 
 #: Home-directory deletions: ~ or $HOME directly.
 HOME_PATTERN = r"/home/[^/\n]+/?|/root/?"

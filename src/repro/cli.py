@@ -17,6 +17,7 @@ Without a build step the same entry points are available as
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from contextlib import contextmanager
@@ -1050,6 +1051,145 @@ def main_mine(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# repro-difftest
+# ---------------------------------------------------------------------------
+
+
+def main_difftest(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-difftest",
+        description="Differential-correctness campaign: execute generated "
+        "and corpus scripts in a confined sandbox and cross-check the "
+        "static verdicts (dynamic oracle), and re-analyze "
+        "semantics-preserving rewrites (metamorphic oracle); aggregate "
+        "per-checker FP/FN counts into a deterministic precision benchmark.",
+        epilog="exit status: 0 clean (or within baseline); 1 disagreements "
+        "above baseline; 2 bad invocation",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        metavar="N",
+        help="generate scripts for seeds 0..N-1 (safe mode; default 50)",
+    )
+    parser.add_argument(
+        "--corpus",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="additional script files/directories/globs to campaign over",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run up to N scripts in parallel (default: cpu count)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="FILE",
+        help="write the precision benchmark JSON here (BENCH_precision.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against this benchmark; exit 1 only on counts above it",
+    )
+    parser.add_argument(
+        "--no-exec",
+        action="store_true",
+        help="skip the dynamic (execution) oracle",
+    )
+    parser.add_argument(
+        "--no-meta",
+        action="store_true",
+        help="skip the metamorphic (rewrite) oracle",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="keep full reproducers instead of minimizing disagreements",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECS",
+        help="per-execution wall-clock limit inside the sandbox",
+    )
+    parser.add_argument(
+        "--max-fork",
+        type=int,
+        default=16,
+        metavar="N",
+        help="analyzer fork bound for the campaign (default 16)",
+    )
+    options = parser.parse_args(argv)
+    if options.no_exec and options.no_meta:
+        print("repro-difftest: both oracles disabled", file=sys.stderr)
+        return 2
+
+    from .analysis.batch import discover
+    from .analysis.difftest import (
+        CampaignConfig,
+        compare_to_baseline,
+        run_campaign,
+    )
+
+    corpus = tuple(discover(options.corpus)) if options.corpus else ()
+    config = CampaignConfig(
+        seeds=tuple(range(max(0, options.seeds))),
+        corpus=corpus,
+        exec_enabled=not options.no_exec,
+        meta_enabled=not options.no_meta,
+        timeout=options.timeout,
+        minimize=not options.no_minimize,
+        max_fork=options.max_fork,
+    )
+    result = run_campaign(config, jobs=options.jobs)
+    bench = result.to_bench_dict()
+    if options.bench:
+        with open(options.bench, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+
+    scripts = bench["scripts"]
+    print(
+        f"{scripts['total']} script(s): {scripts['executed']} executed, "
+        f"{scripts['skipped']} skipped"
+    )
+    for name, counts in sorted(bench["checkers"].items()):
+        print(
+            f"  {name}: checked={counts['checked']} fp={counts['fp']} "
+            f"fn={counts['fn']}"
+        )
+    meta = bench["metamorphic"]
+    print(f"  metamorphic: {meta['total_diffs']} diff(s)")
+    for label, disagreement in result.disagreements:
+        print(
+            f"disagreement [{label}] {disagreement.checker}/"
+            f"{disagreement.kind}: {disagreement.detail}"
+        )
+
+    if options.baseline:
+        try:
+            with open(options.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"repro-difftest: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        problems = compare_to_baseline(bench, baseline)
+        for problem in problems:
+            print(f"regression: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    clean = not result.disagreements and meta["total_diffs"] == 0
+    return 0 if clean else 1
+
+
 _TOOLS = {
     "analyze": main_analyze,
     "optimize": main_optimize,
@@ -1060,6 +1200,7 @@ _TOOLS = {
     "mine": main_mine,
     "served": main_served,
     "top": main_top,
+    "difftest": main_difftest,
 }
 
 

@@ -74,6 +74,7 @@ class FileSystem:
         nodes: Optional[Dict[int, NodeRecord]] = None,
         sym_roots: Optional[Dict[int, int]] = None,
         log: Optional[EventLog] = None,
+        denied: Optional[Dict[int, frozenset]] = None,
     ):
         if nodes is None:
             nodes = {
@@ -88,9 +89,14 @@ class FileSystem:
         #: variable id -> abstract root node for paths like ``$1/...``
         self.sym_roots: Dict[int, int] = dict(sym_roots or {})
         self.log = log if log is not None else EventLog()
+        #: node id -> kinds the node was observed *not* to be on this
+        #: path (a failed ``[ -d X ]`` denies DIR without pinning
+        #: absence — X may still exist as a file).  Weaker than
+        #: tri-state existence, but enough for guard reasoning.
+        self.denied: Dict[int, frozenset] = dict(denied or {})
 
     def fork(self) -> "FileSystem":
-        return FileSystem(self.nodes, self.sym_roots, self.log.fork())
+        return FileSystem(self.nodes, self.sym_roots, self.log.fork(), self.denied)
 
     # -- node bookkeeping ---------------------------------------------------
 
@@ -213,6 +219,14 @@ class FileSystem:
 
     def kind(self, node_id: int) -> NodeKind:
         return self._get(node_id).kind
+
+    def deny_kind(self, node_id: int, kind: NodeKind) -> None:
+        """Record that the node is not of the given kind here (e.g. a
+        failed ``[ -d X ]``: X is absent or a non-directory)."""
+        self.denied[node_id] = self.denied.get(node_id, frozenset()) | {kind}
+
+    def kind_denied(self, node_id: int, kind: NodeKind) -> bool:
+        return kind in self.denied.get(node_id, frozenset())
 
     # -- assumptions (preconditions observed to hold) ------------------------------
 

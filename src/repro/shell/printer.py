@@ -28,8 +28,16 @@ from .ast import (
 )
 
 
-def render(node: Command) -> str:
-    """Render a command AST back to shell source."""
+def render(node: Command, multiline: bool = False) -> str:
+    """Render a command AST back to shell source.
+
+    With ``multiline=True`` the top-level sequence is rendered one
+    command per line instead of ``;``-joined — the two spellings are
+    equivalent POSIX list terminators, which makes this the printer half
+    of the ``;``↔newline metamorphic rewrite.
+    """
+    if multiline and isinstance(node, Sequence):
+        return "\n".join(_render(c) for c in node.commands)
     return _render(node)
 
 

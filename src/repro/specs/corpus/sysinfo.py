@@ -107,7 +107,9 @@ def ls_spec() -> CommandSpec:
         stdout=StreamType.of(r"[^\n]*", "listing"),
         platform_flags={
             "--color": frozenset({"linux"}),
-            "-G": frozenset({"macos"}),
+            # GNU ls supports -G too (--no-group), so it is portable;
+            # only --color is GNU-specific.
+            "-G": frozenset({"linux", "macos"}),
         },
     )
 
@@ -284,7 +286,14 @@ def mktemp_spec() -> CommandSpec:
             Clause(pre=(), effects=(), exit_code=1, stderr=True,
                    note="creation failed"),
         ],
-        stdout=StreamType.of(r"/tmp/[A-Za-z0-9._-]+", "tmppath"),
+        # The basename always contains at least one non-dot character
+        # (mktemp templates end in XXXXXX replaced by random alphanumerics),
+        # so the language excludes "/tmp/.", "/tmp/.." and bare "/tmp/" —
+        # none of which mktemp can print, and all of which would wrongly
+        # intersect the dangerous-deletion language.
+        stdout=StreamType.of(
+            r"/tmp/[A-Za-z0-9._-]*[A-Za-z0-9_-][A-Za-z0-9._-]*", "tmppath"
+        ),
         operands_are_paths=False,  # the template is a pattern, not a path
     )
 

@@ -265,13 +265,20 @@ def _eval_file_test(
         results.append(exists_state.with_status(0 if not negate else 1))
 
     absent_state = state.fork(note=f"test {op} {operand.describe(state.store)}: fails")
-    if path is not None and op in ("-e", "-f", "-d"):
+    if path is not None and op in ("-e", "-f", "-d", "-h", "-L"):
         node = absent_state.fs.resolve(path, cwd=absent_state.cwd_node)
         try:
             # for -f/-d failure just means "not a FILE/DIR here"; only -e
-            # failure pins absence
+            # failure pins absence — but the denied kind is still a fact
+            # guard-aware checkers can use
             if op == "-e":
                 absent_state.fs.assume_absent(node)
+            elif op == "-f":
+                absent_state.fs.deny_kind(node, NodeKind.FILE)
+            elif op == "-d":
+                absent_state.fs.deny_kind(node, NodeKind.DIR)
+            else:  # -h / -L
+                absent_state.fs.deny_kind(node, NodeKind.SYMLINK)
         except FsContradiction:
             absent_state = None
     if absent_state is not None:

@@ -100,13 +100,30 @@ class SymString:
 
     def to_regex(self, store: ConstraintStore) -> Regex:
         """The language of possible concrete values (a glob contributes
-        the language of the names it may expand to)."""
+        the language of the names it may expand to).
+
+        Pathname expansion only ever produces *actual directory
+        entries*: a ``*``/``?`` at the start of a path component cannot
+        match the empty name and does not match a leading dot, so
+        ``$X/*`` denotes ``$X/<entry>`` — never bare ``$X/`` and never
+        ``$X/.hidden`` or ``$X/..``.  Mid-component globs (``foo*``)
+        keep the permissive language (``foo*`` matches ``foo``, and dots
+        are only special at the component start).
+        """
         result: Optional[Regex] = None
-        for atom in self.atoms:
+        for index, atom in enumerate(self.atoms):
             if isinstance(atom, LitAtom):
                 piece = Regex.literal(atom.text)
             elif isinstance(atom, GlobAtom):
-                piece = Regex.compile("[^/\\n]*" if atom.char == "*" else "[^/\\n]")
+                prev = self.atoms[index - 1] if index else None
+                component_start = prev is None or (
+                    isinstance(prev, LitAtom) and prev.text.endswith("/")
+                )
+                if atom.char == "*":
+                    pattern = "[^/.\\n][^/\\n]*" if component_start else "[^/\\n]*"
+                else:
+                    pattern = "[^/.\\n]" if component_start else "[^/\\n]"
+                piece = Regex.compile(pattern)
             else:
                 piece = store.constraint(atom.vid)
             result = piece if result is None else result + piece

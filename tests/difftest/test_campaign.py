@@ -1,0 +1,187 @@
+"""Campaign aggregation, minimization, baselines, and determinism."""
+
+import json
+
+import pytest
+
+from repro.analysis.difftest.campaign import (
+    CampaignConfig,
+    compare_to_baseline,
+    run_campaign,
+)
+from repro.analysis.difftest.gen import generate
+from repro.analysis.difftest.minimize import minimize_lines
+from repro.analysis.difftest.sandbox import Sandbox
+
+
+class TestMinimizeLines:
+    def test_reduces_to_the_single_relevant_line(self):
+        source = "setup\nnoise one\nMAGIC\nnoise two\n"
+        result = minimize_lines(source, lambda s: "MAGIC" in s)
+        assert result == "MAGIC\n"
+
+    def test_keeps_jointly_required_lines(self):
+        source = "alpha\nfiller\nbeta\nmore filler\n"
+        predicate = lambda s: "alpha" in s and "beta" in s
+        result = minimize_lines(source, predicate)
+        assert result == "alpha\nbeta\n"
+
+    def test_non_holding_predicate_returns_source(self):
+        source = "a\nb\n"
+        assert minimize_lines(source, lambda s: False) == source
+
+    def test_exploding_predicate_counts_as_non_holding(self):
+        source = "keep\nBOOM\n"
+
+        def predicate(candidate):
+            if "BOOM" not in candidate:
+                raise RuntimeError("probe crashed")
+            return True
+
+        assert minimize_lines(source, predicate) == "BOOM\n"
+
+    def test_probe_budget_respected(self):
+        calls = []
+
+        def predicate(candidate):
+            calls.append(candidate)
+            return True
+
+        minimize_lines("\n".join(f"l{i}" for i in range(100)), predicate,
+                       max_probes=10)
+        # initial check + at most max_probes probes
+        assert len(calls) <= 11
+
+    def test_deterministic(self):
+        source = "\n".join(f"line {i}" for i in range(20)) + "\nMAGIC\n"
+        first = minimize_lines(source, lambda s: "MAGIC" in s)
+        second = minimize_lines(source, lambda s: "MAGIC" in s)
+        assert first == second == "MAGIC\n"
+
+
+class TestCompareToBaseline:
+    BENCH = {
+        "checkers": {"deletion": {"checked": 5, "fp": 1, "fn": 0}},
+        "metamorphic": {"total_diffs": 0},
+    }
+
+    def test_equal_counts_pass(self):
+        baseline = {
+            "checkers": {"deletion": {"fp": 1, "fn": 0}},
+            "metamorphic": {"total_diffs": 0},
+        }
+        assert compare_to_baseline(self.BENCH, baseline) == []
+
+    def test_improvement_passes(self):
+        baseline = {
+            "checkers": {"deletion": {"fp": 3, "fn": 1}},
+            "metamorphic": {"total_diffs": 2},
+        }
+        assert compare_to_baseline(self.BENCH, baseline) == []
+
+    def test_fp_regression_reported(self):
+        baseline = {
+            "checkers": {"deletion": {"fp": 0, "fn": 0}},
+            "metamorphic": {"total_diffs": 0},
+        }
+        problems = compare_to_baseline(self.BENCH, baseline)
+        assert any("deletion" in p and "fp" in p for p in problems)
+
+    def test_metamorphic_regression_reported(self):
+        bench = {
+            "checkers": {},
+            "metamorphic": {"total_diffs": 3},
+        }
+        problems = compare_to_baseline(bench, {"metamorphic": {"total_diffs": 0}})
+        assert any("metamorphic" in p for p in problems)
+
+    def test_unknown_checker_defaults_to_zero_budget(self):
+        bench = {
+            "checkers": {"newone": {"checked": 1, "fp": 1, "fn": 0}},
+            "metamorphic": {"total_diffs": 0},
+        }
+        assert compare_to_baseline(bench, {"checkers": {}}) != []
+
+
+class TestCampaignDeterminism:
+    CONFIG = CampaignConfig(
+        seeds=(0, 2, 4),
+        exec_enabled=False,
+        minimize=False,
+    )
+
+    def test_same_config_same_bytes(self, tmp_path):
+        first = run_campaign(self.CONFIG, base_dir=str(tmp_path / "a"), jobs=1)
+        second = run_campaign(self.CONFIG, base_dir=str(tmp_path / "b"), jobs=1)
+        assert first.to_json() == second.to_json()
+
+    def test_jobs_do_not_change_output(self, tmp_path):
+        serial = run_campaign(self.CONFIG, base_dir=str(tmp_path / "s"), jobs=1)
+        parallel = run_campaign(self.CONFIG, base_dir=str(tmp_path / "p"), jobs=4)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_bench_document_shape(self, tmp_path):
+        result = run_campaign(self.CONFIG, base_dir=str(tmp_path), jobs=1)
+        bench = json.loads(result.to_json())
+        assert set(bench) == {
+            "checkers", "config", "disagreements", "metamorphic", "scripts",
+        }
+        assert bench["scripts"]["total"] == 3
+        assert bench["config"]["seeds"] == [0, 2, 4]
+        for counts in bench["checkers"].values():
+            assert set(counts) == {"checked", "fn", "fp"}
+
+    def test_no_host_paths_leak_into_bench(self, tmp_path):
+        base = tmp_path / "leakcheck"
+        result = run_campaign(self.CONFIG, base_dir=str(base), jobs=1)
+        assert str(base) not in result.to_json()
+
+
+class TestCampaignExecution:
+    def test_small_exec_campaign_runs(self, tmp_path):
+        config = CampaignConfig(
+            seeds=(0,), meta_enabled=False, minimize=False
+        )
+        result = run_campaign(config, base_dir=str(tmp_path), jobs=1)
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].executed
+
+    def test_corpus_files_included(self, tmp_path):
+        script = tmp_path / "corp.sh"
+        script.write_text("echo hello\n")
+        config = CampaignConfig(
+            seeds=(),
+            corpus=(str(script),),
+            exec_enabled=False,
+            minimize=False,
+        )
+        result = run_campaign(config, base_dir=str(tmp_path / "b"), jobs=1)
+        assert [o.label for o in result.outcomes] == ["corpus-corp.sh"]
+
+
+class TestRewriteValidity:
+    """Semantics preservation of the metamorphic rewrites, checked
+    against real execution: the rewritten script must produce the same
+    tree diff and exit status as the original."""
+
+    @pytest.mark.parametrize("seed", [0, 2, 4])
+    @pytest.mark.parametrize(
+        "rewrite", ["roundtrip", "newlines", "quotes", "brace-group"]
+    )
+    def test_rewrite_preserves_execution(self, tmp_path, seed, rewrite):
+        from repro.shell.rewrite import REWRITES
+
+        source = generate(seed, safe=True)
+        rewritten = REWRITES[rewrite](source)
+
+        original_box = Sandbox(str(tmp_path / "orig"))
+        original_box.populate()
+        original = original_box.run(source)
+        rewritten_box = Sandbox(str(tmp_path / "rewr"))
+        rewritten_box.populate()
+        other = rewritten_box.run(rewritten)
+
+        assert not original.timed_out and not other.timed_out
+        assert original.returncode == other.returncode
+        assert original.diff == other.diff
+        assert original.stdout == other.stdout

@@ -1,0 +1,220 @@
+"""Oracle classification: FP/FN bucketing, metamorphic normalization."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.analyzer import analyze
+from repro.analysis.difftest.dynamic import (
+    DynamicResult,
+    _check_deletion,
+    _check_idempotence,
+    _check_streams,
+    check_source as check_dynamic,
+)
+from repro.analysis.difftest.metamorphic import (
+    check_source as check_metamorphic,
+    normalize_report,
+)
+from repro.analysis.difftest.sandbox import RunResult, TraceRecord
+from repro.diag import Diagnostic, Severity
+
+
+def _run(trace=(), returncode=0, before=None, after=None):
+    return RunResult(
+        returncode=returncode,
+        stdout="",
+        stderr="",
+        timed_out=False,
+        before=before or {},
+        after=after if after is not None else dict(before or {}),
+        trace=list(trace),
+    )
+
+
+def _record(name, status, args=()):
+    return TraceRecord(name=name, status=status, cwd="/box", args=tuple(args))
+
+
+def _diag(code, message="msg", always=False):
+    return Diagnostic(code=code, message=message, always=always)
+
+
+class TestIdempotenceClassification:
+    def test_clean_reruns_with_warning_is_fp(self):
+        result = DynamicResult("mkdir d\n", True)
+        first = _run([_record("mkdir", 0, ["d"])])
+        second = _run([_record("mkdir", 0, ["d"])])
+        _check_idempotence(result, [_diag("idempotence")], first, second)
+        assert [d.kind for d in result.disagreements] == ["fp"]
+        assert "cleanly" in result.disagreements[0].detail
+
+    def test_second_run_failure_with_warning_agrees(self):
+        result = DynamicResult("mkdir d\n", True)
+        first = _run([_record("mkdir", 0, ["d"])])
+        second = _run([_record("mkdir", 1, ["d"])])
+        _check_idempotence(result, [_diag("idempotence")], first, second)
+        assert result.disagreements == []
+
+    def test_second_run_failure_without_warning_is_fn(self):
+        result = DynamicResult("mkdir d\n", True)
+        first = _run([_record("mkdir", 0, ["d"])])
+        second = _run([_record("mkdir", 1, ["d"])])
+        _check_idempotence(result, [], first, second)
+        assert [d.kind for d in result.disagreements] == ["fn"]
+        assert "mkdir d" in result.disagreements[0].detail
+
+    def test_failure_on_both_runs_is_not_a_violation(self):
+        # a creator that fails identically on run 1 and run 2 never
+        # succeeded-then-failed, so silence from the checker is correct
+        result = DynamicResult("ln x y\n", True)
+        first = _run([_record("ln", 1, ["x", "y"])])
+        second = _run([_record("ln", 1, ["x", "y"])])
+        _check_idempotence(result, [], first, second)
+        assert result.disagreements == []
+
+    def test_failure_on_both_runs_with_warning_is_fp_upper_bound(self):
+        result = DynamicResult("ln x y\n", True)
+        first = _run([_record("ln", 1, ["x", "y"])])
+        second = _run([_record("ln", 1, ["x", "y"])])
+        _check_idempotence(result, [_diag("idempotence")], first, second)
+        assert [d.kind for d in result.disagreements] == ["fp"]
+        assert "first" in result.disagreements[0].detail
+
+    def test_always_checked_marker_recorded(self):
+        result = DynamicResult("true\n", True)
+        _check_idempotence(result, [], _run(), _run())
+        assert result.checked == ["idempotence"]
+
+
+class TestDeletionClassification:
+    def test_always_claim_refuted_by_confined_completion(self):
+        result = DynamicResult("rm x\n", True)
+        diags = [_diag("dangerous-deletion", always=True)]
+        first = _run(returncode=0, before={"x": ("file", b"")}, after={})
+        _check_deletion(result, diags, first)
+        assert [d.kind for d in result.disagreements] == ["fp"]
+
+    def test_may_claims_not_falsified(self):
+        result = DynamicResult("rm $1\n", True)
+        diags = [_diag("dangerous-deletion", always=False)]
+        _check_deletion(result, diags, _run(returncode=0))
+        assert result.disagreements == []
+        assert result.checked == []  # may-findings are out of scope
+
+    def test_failing_run_does_not_refute(self):
+        result = DynamicResult("rm /\n", True)
+        diags = [_diag("dangerous-deletion", always=True)]
+        _check_deletion(result, diags, _run(returncode=125))
+        assert result.disagreements == []
+
+
+class TestStreamsClassification:
+    def test_unchanged_nonempty_input_refutes_always_clobber(self):
+        result = DynamicResult("sort f > f\n", True)
+        diags = [
+            _diag("redirect-clobbers-input", "truncates 'f' msg", always=True)
+        ]
+        state = {"f": ("file", b"data")}
+        first = _run(before=state, after=dict(state))
+        _check_streams(result, diags, first)
+        assert [d.kind for d in result.disagreements] == ["fp"]
+
+    def test_truncated_input_confirms_clobber(self):
+        result = DynamicResult("sort f > f\n", True)
+        diags = [
+            _diag("redirect-clobbers-input", "truncates 'f' msg", always=True)
+        ]
+        first = _run(
+            before={"f": ("file", b"data")}, after={"f": ("file", b"")}
+        )
+        _check_streams(result, diags, first)
+        assert result.disagreements == []
+
+
+class TestDynamicEndToEnd:
+    def test_unguarded_mkdir_static_and_dynamic_agree(self, tmp_path):
+        result = check_dynamic("mkdir cache\n", str(tmp_path), "t1")
+        assert result.executed
+        assert result.disagreements == []
+
+    def test_guarded_mkdir_clean_both_ways(self, tmp_path):
+        source = "[ -d cache ] || mkdir cache\n"
+        result = check_dynamic(source, str(tmp_path), "t2")
+        assert result.executed
+        assert result.disagreements == []
+
+    def test_warning_on_untaken_path_counts_as_fp_upper_bound(self, tmp_path):
+        # static (rightly) warns about the mkdir on the taken branch of an
+        # unknown guard; dynamically the branch never executes — this is
+        # exactly the single-path upper-bound FP the benchmark documents
+        source = "if [ -e absent.flag ]; then\nmkdir work\nfi\n"
+        result = check_dynamic(source, str(tmp_path), "t3")
+        assert result.executed
+        kinds = [(d.checker, d.kind) for d in result.disagreements]
+        assert kinds == [("idempotence", "fp")]
+
+    def test_unparsable_script_skipped(self, tmp_path):
+        result = check_dynamic("if then fi ((\n", str(tmp_path), "t4")
+        assert not result.executed
+        assert result.skipped_reason
+
+
+class TestNormalizeReport:
+    def _report(self, *diags):
+        return SimpleNamespace(diagnostics=list(diags))
+
+    def test_positions_in_messages_masked(self):
+        report = self._report(
+            _diag("race-write-write", "conflicts with write at 3:7")
+        )
+        (entry,) = normalize_report(report)
+        assert "3:7" not in entry[1]
+        assert "L:C" in entry[1]
+
+    def test_quotes_stripped_only_on_request(self):
+        report = self._report(_diag("dead-stream", 'output of `echo "x"` unused'))
+        (kept,) = normalize_report(report, strip_quotes=False)
+        (stripped,) = normalize_report(report, strip_quotes=True)
+        assert '"' in kept[1]
+        assert '"' not in stripped[1]
+
+    def test_severity_and_always_preserved(self):
+        report = self._report(
+            Diagnostic(
+                code="x", message="m", severity=Severity.ERROR, always=True
+            )
+        )
+        (entry,) = normalize_report(report)
+        assert entry[2] == "ERROR"
+        assert entry[3] is True
+
+
+class TestMetamorphic:
+    def test_examples_style_script_is_clean(self):
+        source = 'x=file.txt\nif [ -f "$x" ]; then\ncat "$x"\nfi\n'
+        result = check_metamorphic(source)
+        assert result.clean
+        assert "roundtrip" in result.rewrites_applied
+
+    def test_order_sensitive_analyzer_caught(self):
+        # an analyze() whose diagnostics depend on the surface newline
+        # structure must produce a diff under the newline rewrite
+        def broken_analyze(source, **kwargs):
+            report = analyze(source, **kwargs)
+            if ";" in source:
+                report.diagnostics.append(_diag("bogus", "semicolons!"))
+            return report
+
+        result = check_metamorphic("echo a; echo b\n", analyze_fn=broken_analyze)
+        assert not result.clean
+        assert {d.rewrite for d in result.diffs} <= {"newlines", "brace-group",
+                                                     "roundtrip", "quotes"}
+
+    def test_unanalyzable_source_is_identity(self):
+        def exploding(source, **kwargs):
+            raise RuntimeError("boom")
+
+        result = check_metamorphic("echo hi\n", analyze_fn=exploding)
+        assert result.clean
+        assert result.rewrites_applied == []

@@ -1,0 +1,164 @@
+"""Sandbox plumbing: tree snapshots/diffs, shim traces, confinement."""
+
+import os
+
+import pytest
+
+from repro.analysis.difftest.sandbox import (
+    Sandbox,
+    snapshot_tree,
+    tree_diff,
+)
+
+
+class TestSnapshotTree:
+    def test_captures_files_with_bytes(self, tmp_path):
+        (tmp_path / "a.txt").write_text("hello")
+        state = snapshot_tree(str(tmp_path))
+        assert state["a.txt"] == ("file", b"hello")
+
+    def test_captures_empty_directories(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        state = snapshot_tree(str(tmp_path))
+        assert state["empty"] == ("dir", None)
+
+    def test_captures_nested_paths(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "inner.txt").write_text("x")
+        state = snapshot_tree(str(tmp_path))
+        assert state["d"] == ("dir", None)
+        assert state["d/inner.txt"] == ("file", b"x")
+
+    def test_symlink_recorded_not_followed(self, tmp_path):
+        (tmp_path / "real.txt").write_text("payload")
+        os.symlink("real.txt", tmp_path / "link.txt")
+        state = snapshot_tree(str(tmp_path))
+        assert state["link.txt"] == ("symlink", b"real.txt")
+        assert state["real.txt"] == ("file", b"payload")
+
+    def test_dangling_symlink_captured(self, tmp_path):
+        os.symlink("nowhere", tmp_path / "dangling")
+        state = snapshot_tree(str(tmp_path))
+        assert state["dangling"] == ("symlink", b"nowhere")
+
+    def test_symlinked_directory_not_descended(self, tmp_path):
+        (tmp_path / "target").mkdir()
+        (tmp_path / "target" / "deep.txt").write_text("x")
+        os.symlink("target", tmp_path / "alias")
+        state = snapshot_tree(str(tmp_path))
+        assert state["alias"] == ("symlink", b"target")
+        assert "alias/deep.txt" not in state
+
+    def test_control_files_excluded(self, tmp_path):
+        (tmp_path / ".trace").write_text("noise")
+        (tmp_path / ".shims").mkdir()
+        (tmp_path / ".shims" / "rm").write_text("#!/bin/sh")
+        (tmp_path / "script.sh").write_text("echo hi")
+        (tmp_path / "kept.txt").write_text("yes")
+        state = snapshot_tree(str(tmp_path))
+        assert set(state) == {"kept.txt"}
+
+
+class TestTreeDiff:
+    def test_created_deleted_modified(self):
+        before = {"a": ("file", b"1"), "b": ("file", b"2")}
+        after = {"b": ("file", b"3"), "c": ("file", b"4")}
+        assert tree_diff(before, after) == {
+            "a": "deleted",
+            "b": "modified",
+            "c": "created",
+        }
+
+    def test_kind_change_is_modified(self):
+        before = {"x": ("file", b"")}
+        after = {"x": ("dir", None)}
+        assert tree_diff(before, after) == {"x": "modified"}
+
+    def test_symlink_retarget_is_modified(self):
+        before = {"l": ("symlink", b"old")}
+        after = {"l": ("symlink", b"new")}
+        assert tree_diff(before, after) == {"l": "modified"}
+
+    def test_empty_dir_deletion_observed(self):
+        before = {"empty": ("dir", None)}
+        assert tree_diff(before, {}) == {"empty": "deleted"}
+
+    def test_identical_trees_diff_empty(self):
+        state = {"a": ("file", b"1"), "d": ("dir", None)}
+        assert tree_diff(state, dict(state)) == {}
+
+
+class TestSandboxRun:
+    def test_observes_creation_and_trace(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("mkdir cache\necho done > cache/marker\n", args=[])
+        assert result.returncode == 0
+        assert result.diff.get("cache") == "created"
+        assert result.diff.get("cache/marker") == "created"
+        mkdirs = [r for r in result.trace if r.name == "mkdir"]
+        assert mkdirs and mkdirs[0].status == 0
+        assert mkdirs[0].args == ("cache",)
+
+    def test_trace_preserves_spaced_args(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("cat 'a b'\n", args=[])
+        cats = [r for r in result.trace if r.name == "cat"]
+        assert cats and cats[0].args == ("a b",)
+
+    def test_off_allowlist_command_fails_127(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("frobnicate\n", args=[])
+        assert result.returncode == 127
+
+    def test_absolute_path_operand_refused(self, tmp_path):
+        victim = tmp_path / "outside.txt"
+        victim.write_text("precious")
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run(f"rm -f {victim}\n", args=[])
+        assert victim.read_text() == "precious"
+        refused = [r for r in result.trace if r.status == 125]
+        assert refused and refused[0].name == "rm"
+
+    def test_dotdot_escape_refused(self, tmp_path):
+        victim = tmp_path / "outside.txt"
+        victim.write_text("precious")
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("rm -f ../outside.txt\n", args=[])
+        assert victim.read_text() == "precious"
+        assert any(r.status == 125 for r in result.trace)
+
+    def test_sandbox_relative_paths_allowed(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("rm file.txt\n", args=[])
+        assert result.returncode == 0
+        assert result.diff.get("file.txt") == "deleted"
+
+    def test_dev_null_redirection_allowed(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        result = sandbox.run("grep alpha /dev/null\n", args=[])
+        # grep finds nothing (exit 1) but the shim must not refuse
+        assert not any(r.status == 125 for r in result.trace)
+
+    def test_second_run_gets_fresh_trace(self, tmp_path):
+        # builtins (echo, test) never reach the shims — use a real binary
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        sandbox.run("cat file.txt\n", args=[])
+        result = sandbox.run("cat data\n", args=[])
+        cats = [r for r in result.trace if r.name == "cat"]
+        assert len(cats) == 1
+        assert cats[0].args == ("data",)
+
+    def test_timeout_reported(self, tmp_path):
+        sandbox = Sandbox(str(tmp_path / "box"))
+        sandbox.populate()
+        source = "while true; do true; done\n"
+        result = sandbox.run(source, args=[], timeout=1.0)
+        assert result.timed_out

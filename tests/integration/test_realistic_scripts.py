@@ -82,9 +82,19 @@ class TestBackup:
         report = analyze(BACKUP)
         assert not report.has("dangerous-deletion")
 
-    def test_mkdir_idempotence_noted(self):
+    def test_mkdir_after_evacuating_mv_not_flagged(self):
         report = analyze(BACKUP)
-        # plain mkdir on a fixed path: re-running the rotation would fail
+        # the mv right before it evacuates "$BACKUP_ROOT/daily" on every
+        # path, so re-running the rotation recreates it cleanly — the
+        # guarded-creation analysis must see the absence and stay quiet
+        assert not report.has("idempotence")
+
+    def test_plain_mkdir_still_noted_without_evacuation(self):
+        source = BACKUP.replace(
+            'mv "$BACKUP_ROOT/daily" "$BACKUP_ROOT/oldest"\n', ""
+        )
+        report = analyze(source)
+        # without the mv the path may already exist: re-running fails
         assert report.has("idempotence")
 
     def test_no_always_fails(self):

@@ -1,187 +1,26 @@
-"""Deterministic grammar-based shell-script generator (ShellFuzzer-style).
+"""Compatibility shim: the generator moved into the package so the
+``repro-difftest`` campaign runner can use it after installation.
 
-Everything is driven by a seeded ``random.Random`` — same seed, same
-script, no wall-clock or OS dependence — so fuzz failures reproduce
-with just the seed number.  The grammar deliberately covers every
-construct the parser and engine handle (pipelines, lists, redirects,
-loops, case, subshells, command/arith substitution, here-strings via
-quoting, background jobs) plus a mutation pass that damages otherwise
-well-formed scripts to exercise the syntax-error and recovery paths.
+The grammar, safe mode, and fixtures all live in
+:mod:`repro.analysis.difftest.gen`; this module re-exports the public
+surface so existing ``tests.robustness.script_gen`` imports keep
+working.
 """
 
-from __future__ import annotations
-
-import random
-from typing import List
-
-NAMES = ["x", "dir", "target", "out", "tmp", "STEAMROOT", "i", "f"]
-COMMANDS = [
-    "echo", "rm", "mkdir", "cat", "grep", "mv", "cp", "touch",
-    "ls", "sed", "head", "wc", "test", "frobnicate",
-]
-FLAGS = ["-r", "-f", "-rf", "-p", "-n", "-e", "--force", "-x"]
-WORDS = [
-    "file.txt", "/tmp/out", "$HOME/cache", '"$x"', "$1", "${dir}/sub",
-    "log-*.txt", "'a b'", "data", "*", "..", "$(basename $0)", "-",
-]
-PATTERNS = ["*.txt", "a|b", "[0-9]*", "yes", "*"]
-REDIRECTS = ["> /tmp/log", ">> out.txt", "2>/dev/null", "< file.txt", "2>&1"]
-OPTSTRINGS = ["ab:c", "xy", "f:o:", ":q"]
-
-
-class ScriptGen:
-    """One seeded generator instance; :meth:`script` returns the text."""
-
-    MAX_DEPTH = 3
-
-    def __init__(self, seed: int):
-        self.rng = random.Random(seed)
-
-    # -- words ---------------------------------------------------------------
-
-    def word(self) -> str:
-        return self.rng.choice(WORDS)
-
-    def simple(self) -> str:
-        parts = [self.rng.choice(COMMANDS)]
-        if self.rng.random() < 0.4:
-            parts.append(self.rng.choice(FLAGS))
-        parts.extend(self.word() for _ in range(self.rng.randint(0, 3)))
-        if self.rng.random() < 0.25:
-            parts.append(self.rng.choice(REDIRECTS))
-        return " ".join(parts)
-
-    def assignment(self) -> str:
-        name = self.rng.choice(NAMES)
-        if self.rng.random() < 0.3:
-            return f"{name}=$({self.simple()})"
-        return f"{name}={self.word()}"
-
-    # -- statements ----------------------------------------------------------
-
-    def statement(self, depth: int) -> str:
-        choices = [
-            lambda: self.simple(),
-            lambda: self.assignment(),
-            lambda: self.pipeline(),
-            lambda: self.list_stmt(),
-        ]
-        if depth < self.MAX_DEPTH:
-            choices += [
-                lambda: self.if_stmt(depth),
-                lambda: self.for_stmt(depth),
-                lambda: self.while_stmt(depth),
-                lambda: self.case_stmt(depth),
-                lambda: self.subshell(depth),
-                lambda: self.background(),
-                lambda: self.getopts_loop(depth),
-            ]
-        return self.rng.choice(choices)()
-
-    def pipeline(self) -> str:
-        n = self.rng.randint(2, 3)
-        return " | ".join(self.simple() for _ in range(n))
-
-    def list_stmt(self) -> str:
-        op = self.rng.choice([" && ", " || ", "; "])
-        return op.join(self.simple() for _ in range(2))
-
-    def if_stmt(self, depth: int) -> str:
-        cond = self.rng.choice(
-            [f"[ -f {self.word()} ]", f"[ -d {self.word()} ]", self.simple()]
-        )
-        body = self.block(depth + 1)
-        if self.rng.random() < 0.5:
-            other = self.block(depth + 1)
-            return f"if {cond}; then\n{body}\nelse\n{other}\nfi"
-        return f"if {cond}; then\n{body}\nfi"
-
-    def for_stmt(self, depth: int) -> str:
-        var = self.rng.choice(NAMES)
-        items = " ".join(self.word() for _ in range(self.rng.randint(1, 4)))
-        return f"for {var} in {items}; do\n{self.block(depth + 1)}\ndone"
-
-    def while_stmt(self, depth: int) -> str:
-        return (
-            f"while [ -e {self.word()} ]; do\n{self.block(depth + 1)}\ndone"
-        )
-
-    def getopts_loop(self, depth: int) -> str:
-        """An option-parsing loop (the classic script prologue)."""
-        optstring = self.rng.choice(OPTSTRINGS)
-        var = self.rng.choice(["opt", "flag", "o"])
-        if self.rng.random() < 0.5:
-            letters = [c for c in optstring if c != ":"]
-            arms = "\n".join(
-                f"    {letter}) {self.simple()} ;;" for letter in letters
-            )
-            body = (
-                f'  case "${var}" in\n{arms}\n'
-                f"    ?) exit 2 ;;\n  esac"
-            )
-        else:
-            body = f"  {self.simple()}"
-        return (
-            f'while getopts "{optstring}" {var}; do\n{body}\ndone'
-        )
-
-    def argc_guard(self) -> str:
-        """The ubiquitous argument-count prologue guard."""
-        count = self.rng.randint(1, 3)
-        op = self.rng.choice(["-lt", "-ne", "-gt"])
-        action = self.rng.choice(
-            ["exit 1", 'echo "usage: $0" >&2; exit 1', "shift"]
-        )
-        return f'if [ "$#" {op} {count} ]; then {action}; fi'
-
-    def case_stmt(self, depth: int) -> str:
-        subject = self.rng.choice(["$1", '"$1"', "$x", "$(uname)", '"$#"'])
-        arms = []
-        for _ in range(self.rng.randint(1, 3)):
-            arms.append(
-                f"  {self.rng.choice(PATTERNS)}) {self.simple()} ;;"
-            )
-        body = "\n".join(arms)
-        return f"case {subject} in\n{body}\nesac"
-
-    def subshell(self, depth: int) -> str:
-        return f"({self.block(depth + 1)})"
-
-    def background(self) -> str:
-        return f"{self.simple()} &"
-
-    def block(self, depth: int) -> str:
-        n = self.rng.randint(1, 2)
-        return "\n".join(self.statement(depth) for _ in range(n))
-
-    # -- whole scripts -------------------------------------------------------
-
-    def script(self) -> str:
-        lines: List[str] = []
-        if self.rng.random() < 0.5:
-            lines.append("#!/bin/sh")
-        if self.rng.random() < 0.3:
-            # start like real scripts do: guard the argument count
-            lines.append(self.argc_guard())
-        for _ in range(self.rng.randint(2, 8)):
-            lines.append(self.statement(0))
-        text = "\n".join(lines) + "\n"
-        if self.rng.random() < 0.2:
-            text = self.mutate(text)
-        return text
-
-    def mutate(self, text: str) -> str:
-        """Damage a well-formed script (truncation, bracket injection,
-        quote removal) to exercise the error paths."""
-        kind = self.rng.randrange(3)
-        if kind == 0 and len(text) > 4:
-            return text[: self.rng.randrange(1, len(text))]
-        if kind == 1:
-            pos = self.rng.randrange(len(text))
-            return text[:pos] + self.rng.choice(")('\"`;|") + text[pos:]
-        return text.replace('"', "", 1)
-
-
-def generate(seed: int) -> str:
-    """The script for one seed (deterministic)."""
-    return ScriptGen(seed).script()
+from repro.analysis.difftest.gen import (  # noqa: F401
+    COMMANDS,
+    FLAGS,
+    NAMES,
+    OPTSTRINGS,
+    PATTERNS,
+    REDIRECTS,
+    SAFE_ARGS,
+    SAFE_COMMANDS,
+    SAFE_FIXTURES,
+    SAFE_PREAMBLE,
+    SAFE_REDIRECTS,
+    SAFE_WORDS,
+    WORDS,
+    ScriptGen,
+    generate,
+)
