@@ -216,6 +216,14 @@ def _pool_worker(item: Tuple) -> Tuple[str, dict, float, Optional[dict]]:
     type that crosses the process boundary — recorders don't pickle)."""
     path, source, config = item[:3]
     traced = item[3] if len(item) > 3 else False
+    if os.environ.get("REPRO_CHAOS"):
+        # chaos plans ride the environment into pool workers (pickling
+        # is by name, so parent-side monkeypatching can't reach here);
+        # lazy import keeps the hot path free of the server package
+        from ..server.chaos import chaos_point
+
+        if chaos_point("worker.kill", source):
+            os._exit(137)
     started = time.perf_counter()
     if not traced:
         data = analyze_source(source, config)

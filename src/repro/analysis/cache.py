@@ -10,6 +10,12 @@ Entries are JSON files (one per report, sharded by key prefix) written
 atomically; a corrupt or unreadable entry is indistinguishable from a
 miss.  The cache is safe to share between concurrent processes: writers
 never modify files in place, and readers tolerate partial state.
+
+The cache is an accelerator, never a dependency: a write that fails
+(disk full, read-only directory, yanked permissions) is swallowed with
+a ``batch.cache.write_errors`` count and a once-per-process warning,
+and the analysis continues uncached; a corrupt entry reads as a miss
+and bumps ``batch.cache.corrupt``.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from typing import Optional
 
 from .. import __version__
+from ..obs import get_recorder
 from .report import Report
 
 #: bump to invalidate every cache entry produced by older analyzers
@@ -65,6 +73,17 @@ def cache_key(source: str, config_fingerprint: str) -> str:
     return hasher.hexdigest()
 
 
+#: write-failure warning fires once per process (the daemon must not
+#: spam its stderr once the disk fills)
+_write_warned = False
+
+
+def reset_write_warning() -> None:
+    """Re-arm the once-per-process write-failure warning (tests)."""
+    global _write_warned
+    _write_warned = False
+
+
 class ResultCache:
     """Load/store serialized reports under a root directory."""
 
@@ -82,32 +101,61 @@ class ResultCache:
         foreign entry reads as a miss."""
         expected = schema if schema is not None else Report.SCHEMA_VERSION
         try:
-            with open(self.path_for(key), "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
+            raw = self._read(self.path_for(key))
+        except OSError:
+            return None
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            get_recorder().count("batch.cache.corrupt")
             return None
         if not isinstance(data, dict) or data.get("schema") != expected:
             return None
         return data
 
     def put(self, key: str, data: dict) -> bool:
-        """Atomically store a report dict; best-effort (a read-only or
-        full disk silently degrades the cache to a pass-through)."""
+        """Atomically store a report dict; never fatal — a read-only or
+        full disk degrades the cache to a pass-through with a
+        ``batch.cache.write_errors`` count and one warning per
+        process."""
+        global _write_warned
         path = self.path_for(key)
-        directory = os.path.dirname(path)
         try:
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(data, handle, separators=(",", ":"))
-                os.replace(tmp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
+            self._write(
+                os.path.dirname(path),
+                path,
+                json.dumps(data, separators=(",", ":")),
+            )
+        except OSError as exc:
+            get_recorder().count("batch.cache.write_errors")
+            if not _write_warned:
+                _write_warned = True
+                warnings.warn(
+                    f"result cache write failed ({exc}); continuing "
+                    f"uncached (further write failures are counted under "
+                    f"batch.cache.write_errors, not repeated)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return False
         return True
+
+    # -- filesystem layer (overridable: chaos injection wraps these) --------
+
+    def _read(self, path: str) -> str:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def _write(self, directory: str, path: str, payload: str) -> None:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

@@ -180,6 +180,28 @@ def clamped_budget(
     )
 
 
+def jittered_backoff(
+    attempt: int,
+    base: float = 0.05,
+    multiplier: float = 2.0,
+    cap: float = 1.0,
+    jitter: float = 0.25,
+    rng=None,
+) -> float:
+    """The sleep before retry ``attempt`` (0-based): exponential growth
+    capped at ``cap``, with +/- ``jitter`` proportional noise so a herd
+    of clients retrying a restarted daemon does not arrive in lockstep.
+    Pass a seeded ``rng`` (anything with ``.random()``) for determinism
+    in tests; without one the module-level :mod:`random` is used."""
+    import random as _random
+
+    delay = min(cap, base * (multiplier ** attempt))
+    if jitter > 0:
+        roll = (rng or _random).random()  # uniform [0, 1)
+        delay *= 1.0 + jitter * (2.0 * roll - 1.0)
+    return max(0.0, delay)
+
+
 # ---------------------------------------------------------------------------
 # The active budget (mirrors obs.get_recorder: layers too deep to take a
 # budget parameter look it up here; None means unlimited)

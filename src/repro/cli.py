@@ -132,6 +132,7 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
         help="analysis-server socket (default: $REPRO_SERVER_SOCKET or a "
         "per-user runtime path)",
     )
+    _add_server_resilience_flags(parser)
     parser.add_argument("--lint", action="store_true", help="also run the syntactic baseline")
     parser.add_argument(
         "--jobs",
@@ -226,6 +227,48 @@ def main_analyze(argv: Optional[List[str]] = None) -> int:
     return 3 if report.degraded else 0
 
 
+def _add_server_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """--server failure-handling knobs shared by analyze/optimize."""
+    parser.add_argument(
+        "--server-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="server read timeout: give up on a server answer after this "
+        "long and fall back to inline analysis (default: 60s; pings always "
+        "use a short probe deadline)",
+    )
+    parser.add_argument(
+        "--server-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a daemon lost mid-request up to N times with jittered "
+        "exponential backoff before falling back inline (default: 2)",
+    )
+
+
+def _server_client(options: argparse.Namespace):
+    """A ServerClient shaped by the --server-* flags."""
+    from .server import ServerClient
+    from .server.client import RetryPolicy
+
+    kwargs = {}
+    timeout = getattr(options, "server_timeout", None)
+    if timeout is not None:
+        kwargs["read_timeout"] = timeout
+    retries = getattr(options, "server_retries", None)
+    if retries is not None:
+        kwargs["retry"] = RetryPolicy(retries=max(0, retries))
+    return ServerClient(options.socket, **kwargs)
+
+
+def _note_inline_fallback() -> None:
+    from .obs import get_recorder
+
+    get_recorder().count("server.client.inline_fallback")
+
+
 def _batch_config(options: argparse.Namespace):
     from .analysis import BatchConfig
 
@@ -242,30 +285,32 @@ def _batch_config(options: argparse.Namespace):
 
 def _analyze_via_server(options: argparse.Namespace, source: str):
     """One script via the daemon; None means fall back to inline."""
-    from .server import ServerClient, ServerError, ServerUnavailable
+    from .server import ServerError, ServerUnavailable
 
     try:
-        with ServerClient(options.socket) as client:
+        with _server_client(options) as client:
             report = client.analyze_source(source, _batch_config(options))
             if options.stats:
                 _print_server_stats(client)
             return report
     except (ServerUnavailable, ServerError) as exc:
+        _note_inline_fallback()
         print(f"repro-analyze: {exc}; analyzing inline", file=sys.stderr)
         return None
 
 
 def _batch_via_server(options: argparse.Namespace, inputs: List[str]):
     """A corpus via the daemon; None means fall back to inline."""
-    from .server import ServerClient, ServerError, ServerUnavailable
+    from .server import ServerError, ServerUnavailable
 
     try:
-        with ServerClient(options.socket) as client:
+        with _server_client(options) as client:
             batch = client.batch(inputs, _batch_config(options))
             if options.stats:
                 _print_server_stats(client)
             return batch
     except (ServerUnavailable, ServerError) as exc:
+        _note_inline_fallback()
         print(f"repro-analyze: {exc}; analyzing inline", file=sys.stderr)
         return None
 
@@ -367,6 +412,7 @@ def main_optimize(argv: Optional[List[str]] = None) -> int:
         help="analysis-server socket (default: $REPRO_SERVER_SOCKET or a "
         "per-user runtime path)",
     )
+    _add_server_resilience_flags(parser)
     parser.add_argument(
         "--jobs",
         type=int,
@@ -462,15 +508,16 @@ def _cached_plan(cache_dir: str, source: str, config):
 
 def _optimize_via_server(options: argparse.Namespace, source: str, config):
     """One script's plan via the daemon; None means fall back to inline."""
-    from .server import ServerClient, ServerError, ServerUnavailable
+    from .server import ServerError, ServerUnavailable
 
     try:
-        with ServerClient(options.socket) as client:
+        with _server_client(options) as client:
             data = client.optimize_source(source, config)
             if options.stats:
                 _print_server_stats(client)
             return data
     except (ServerUnavailable, ServerError) as exc:
+        _note_inline_fallback()
         print(f"repro-optimize: {exc}; planning inline", file=sys.stderr)
         return None
 
@@ -517,11 +564,11 @@ def _optimize_batch_via_server(options: argparse.Namespace, inputs: List[str]):
         OptimizeFileResult,
         OptimizePlan,
     )
-    from .server import ServerClient, ServerError, ServerUnavailable
+    from .server import ServerError, ServerUnavailable
 
     config = _batch_config(options)
     try:
-        with ServerClient(options.socket) as client:
+        with _server_client(options) as client:
             batch = OptimizeBatchResult()
             for path in discover(inputs):
                 try:
@@ -545,6 +592,7 @@ def _optimize_batch_via_server(options: argparse.Namespace, inputs: List[str]):
                 _print_server_stats(client)
             return batch
     except (ServerUnavailable, ServerError) as exc:
+        _note_inline_fallback()
         print(f"repro-optimize: {exc}; planning inline", file=sys.stderr)
         return None
 
@@ -780,6 +828,35 @@ def main_served(argv: Optional[List[str]] = None) -> int:
         help="shed requests beyond N concurrently in flight instead of "
         "queueing them (default: 64)",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="on SIGTERM (or a drain): wait this long for in-flight "
+        "requests before the hard stop abandons them (default: 5s)",
+    )
+    parser.add_argument(
+        "--frame-deadline",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="a started request frame must finish within this long or the "
+        "connection is answered with an error and closed (default: 30s)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="restart the serving loop after a crash (bounded by "
+        "--max-restarts), reusing the warm result cache",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="give up after N supervised restarts (default: 5)",
+    )
     _add_common_flags(parser)
     options = parser.parse_args(argv)
 
@@ -787,9 +864,11 @@ def main_served(argv: Optional[List[str]] = None) -> int:
     from .server.daemon import (
         DEFAULT_CAP_DEADLINE,
         DEFAULT_CAP_STATES,
+        DEFAULT_DRAIN_DEADLINE,
         DEFAULT_MAX_INFLIGHT,
         DEFAULT_SLOW_MS,
     )
+    from .server.protocol import DEFAULT_FRAME_DEADLINE
 
     socket_path = options.socket or default_socket_path()
     print(f"repro-served: listening on {socket_path}", file=sys.stderr)
@@ -827,6 +906,19 @@ def main_served(argv: Optional[List[str]] = None) -> int:
                 if options.max_inflight is not None
                 else DEFAULT_MAX_INFLIGHT
             ),
+            frame_deadline=(
+                options.frame_deadline
+                if options.frame_deadline is not None
+                else DEFAULT_FRAME_DEADLINE
+            ),
+            drain_deadline=(
+                options.drain_timeout
+                if options.drain_timeout is not None
+                else DEFAULT_DRAIN_DEADLINE
+            ),
+            supervised=options.supervise,
+            max_restarts=options.max_restarts,
+            install_signals=True,
         )
     except KeyboardInterrupt:
         print("repro-served: interrupted", file=sys.stderr)
@@ -935,7 +1027,7 @@ def _render_top_frame(stats: dict, previous=None) -> str:
             )
     hot = [
         name
-        for name in ("batch.files", "symex.states_explored", "server.pool_recreated")
+        for name in ("batch.files", "symex.states_explored", "server.pool_rebuilds")
         if counters.get(name)
     ]
     if hot:

@@ -8,21 +8,48 @@ socket speaking line-delimited JSON (:mod:`.protocol`).  The thin
 client (:mod:`.client`, CLI ``repro-analyze --server``) falls back to
 inline analysis when no daemon is running, and :mod:`.watch` keeps the
 cache warm as files change on disk.
+
+The crash-only layer: :mod:`.supervise` restarts a crashed serving
+loop against the same warm cache and evicts stale socket files (after
+proving nobody live owns them); the client carries bounded retries
+with jittered backoff and a per-socket circuit breaker; and
+:mod:`.chaos` provides the deterministic fault-injection substrate the
+``tests/chaos`` suite drives all of it with.
 """
 
-from .client import ServerClient, ServerError, ServerUnavailable, server_available
+from .chaos import ChaosPlan, FaultSpec, use_chaos
+from .client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServerClient,
+    ServerError,
+    ServerUnavailable,
+    reset_breakers,
+    server_available,
+)
 from .daemon import AnalysisServer, serve
 from .protocol import PROTOCOL_VERSION, default_socket_path
+from .supervise import SocketInUse, Supervisor, ensure_socket_free, probe_socket
 from .watch import Watcher
 
 __all__ = [
     "AnalysisServer",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "FaultSpec",
     "PROTOCOL_VERSION",
+    "RetryPolicy",
     "ServerClient",
     "ServerError",
     "ServerUnavailable",
+    "SocketInUse",
+    "Supervisor",
     "Watcher",
     "default_socket_path",
+    "ensure_socket_free",
+    "probe_socket",
+    "reset_breakers",
     "serve",
     "server_available",
+    "use_chaos",
 ]

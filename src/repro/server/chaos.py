@@ -1,0 +1,326 @@
+"""Deterministic chaos: seeded fault injection for the serving stack.
+
+The serving layer's claims — no lost requests, no cached degraded
+results, byte-identical recovery — are only credible if they survive
+faults injected *systematically*, the way Smoosh feeds a shell odd
+inputs and ShellFuzzer feeds it adversarial grammars.  This module is
+the injection substrate: every fault decision is a pure function of
+``(seed, injection point, payload, firing count)``, so a failing chaos
+run replays exactly and CI can gate on a fixed seed.
+
+Three delivery mechanisms, one plan:
+
+- **In-process** — ``install(plan)`` (or the ``use_chaos`` context
+  manager) arms an injector consulted by the daemon's injection points
+  (``server.delay``) and by :class:`ChaosCache`.
+- **Cross-process** — ``plan.to_env()`` serializes the plan into the
+  ``REPRO_CHAOS`` environment variable; pool workers pick it up in
+  :func:`repro.analysis.batch._pool_worker` (the ``worker.kill``
+  point), so a worker can be killed mid-request without cooperation
+  from the parent.
+- **Wire-level** — :func:`send_raw` / :func:`open_raw` write arbitrary
+  (truncated, corrupt, oversized) byte sequences straight onto the
+  daemon's socket, below the client's framing.
+
+Injection points in the tree:
+
+=================  =========================================================
+``worker.kill``    pool worker ``os._exit(137)`` before analysis (payload:
+                   the script source)
+``server.delay``   daemon sleeps ``delay_s`` before dispatching (payload:
+                   the op name)
+``cache.enospc``   cache write raises ``OSError(ENOSPC)`` (payload: path)
+``cache.corrupt``  cache entry is torn after a successful write (payload:
+                   path)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import socket
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..analysis.cache import ResultCache
+from ..obs import get_recorder
+
+#: environment variable carrying a serialized plan into pool workers
+ENV_VAR = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where, when, and how often it fires."""
+
+    #: injection-point name (e.g. ``worker.kill``)
+    point: str
+    #: substring of the payload required for eligibility ("" = always)
+    match: str = ""
+    #: probability of firing when eligible (seeded, deterministic)
+    rate: float = 1.0
+    #: maximum firings per injector (None = unlimited)
+    times: Optional[int] = None
+    #: injected latency in seconds (used by delay points)
+    delay_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "match": self.match,
+            "rate": self.rate,
+            "times": self.times,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            point=data["point"],
+            match=data.get("match", ""),
+            rate=data.get("rate", 1.0),
+            times=data.get("times"),
+            delay_s=data.get("delay_s", 0.0),
+        )
+
+
+class ChaosPlan:
+    """A seed plus the set of armed faults; serializable into the
+    environment so pool workers inherit the same schedule."""
+
+    def __init__(self, seed: int = 0, faults: Sequence[FaultSpec] = ()):
+        self.seed = seed
+        self.faults: Dict[str, FaultSpec] = {spec.point: spec for spec in faults}
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    spec.to_dict() for _, spec in sorted(self.faults.items())
+                ],
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        data = json.loads(text)
+        return cls(
+            seed=data.get("seed", 0),
+            faults=[FaultSpec.from_dict(item) for item in data.get("faults", [])],
+        )
+
+    def to_env(self, env: Optional[dict] = None) -> dict:
+        """``env`` (default: a copy of ``os.environ``) with the plan
+        installed under :data:`ENV_VAR`."""
+        merged = dict(os.environ if env is None else env)
+        merged[ENV_VAR] = self.to_json()
+        return merged
+
+
+class ChaosInjector:
+    """Evaluates fault decisions against a plan, deterministically.
+
+    Each injection point gets its own :class:`random.Random` seeded
+    from ``(plan seed, point name)``, so adding or reordering points
+    never perturbs another point's schedule.
+    """
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self._rngs: Dict[str, random.Random] = {}
+        self._fired: Dict[str, int] = {}
+        self._calls: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def fires(self, point: str, payload: str = "") -> bool:
+        """Whether the fault at ``point`` fires for this invocation."""
+        spec = self.plan.faults.get(point)
+        if spec is None:
+            return False
+        with self._lock:
+            self._calls[point] = self._calls.get(point, 0) + 1
+            if spec.match and spec.match not in payload:
+                return False
+            if spec.times is not None and self._fired.get(point, 0) >= spec.times:
+                return False
+            if spec.rate < 1.0:
+                rng = self._rngs.get(point)
+                if rng is None:
+                    rng = self._rngs[point] = random.Random(
+                        f"{self.plan.seed}:{point}"
+                    )
+                if rng.random() >= spec.rate:
+                    return False
+            self._fired[point] = self._fired.get(point, 0) + 1
+        get_recorder().count(f"chaos.{point.replace('.', '_')}")
+        return True
+
+    def delay(self, point: str, payload: str = "") -> float:
+        """The injected latency for ``point`` (0.0 when it doesn't fire)."""
+        spec = self.plan.faults.get(point)
+        if spec is None or spec.delay_s <= 0:
+            return 0.0
+        return spec.delay_s if self.fires(point, payload) else 0.0
+
+    def fired(self, point: str) -> int:
+        with self._lock:
+            return self._fired.get(point, 0)
+
+    def calls(self, point: str) -> int:
+        with self._lock:
+            return self._calls.get(point, 0)
+
+
+# ---------------------------------------------------------------------------
+# Installation: in-process (tests, daemon) and via the environment (workers)
+# ---------------------------------------------------------------------------
+
+_installed: Optional[ChaosInjector] = None
+_env_cache: Tuple[Optional[str], Optional[ChaosInjector]] = (None, None)
+_install_lock = threading.Lock()
+
+
+def install(plan: ChaosPlan) -> ChaosInjector:
+    """Arm an in-process injector (wins over the environment)."""
+    global _installed
+    injector = ChaosInjector(plan)
+    with _install_lock:
+        _installed = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _installed
+    with _install_lock:
+        _installed = None
+
+
+@contextmanager
+def use_chaos(plan: ChaosPlan):
+    """Scoped in-process installation; disarms on exit."""
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def active() -> Optional[ChaosInjector]:
+    """The armed injector: the in-process one if installed, else one
+    parsed (and cached) from :data:`ENV_VAR`, else None."""
+    global _env_cache
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    with _install_lock:
+        cached_raw, cached = _env_cache
+        if cached_raw == raw:
+            return cached
+        try:
+            injector = ChaosInjector(ChaosPlan.from_json(raw))
+        except (ValueError, KeyError, TypeError):
+            injector = None
+        _env_cache = (raw, injector)
+        return injector
+
+
+def chaos_point(point: str, payload: str = "") -> bool:
+    """The module-level hook production code calls; False when chaos
+    is not armed (the common case — one dict lookup + env get)."""
+    injector = active()
+    return injector.fires(point, payload) if injector is not None else False
+
+
+def chaos_delay(point: str, payload: str = "") -> float:
+    injector = active()
+    return injector.delay(point, payload) if injector is not None else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Fault-carrying collaborators
+# ---------------------------------------------------------------------------
+
+
+class ChaosCache(ResultCache):
+    """A :class:`ResultCache` whose filesystem layer misbehaves on the
+    injector's schedule: ``cache.enospc`` makes writes raise
+    ``OSError(ENOSPC)`` (exercising the never-fatal store path), and
+    ``cache.corrupt`` tears an entry *after* a successful write (a torn
+    write / bit rot, exercising corrupt-entry-as-miss on read)."""
+
+    def __init__(self, root: str, injector: ChaosInjector):
+        super().__init__(root)
+        self.injector = injector
+
+    def _write(self, directory: str, path: str, payload: str) -> None:
+        if self.injector.fires("cache.enospc", path):
+            raise OSError(
+                errno.ENOSPC, "No space left on device (chaos)", path
+            )
+        super()._write(directory, path, payload)
+        if self.injector.fires("cache.corrupt", path):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload[: max(1, len(payload) // 3)])
+
+
+# ---------------------------------------------------------------------------
+# Wire-level fault helpers (for tests and the chaos suite)
+# ---------------------------------------------------------------------------
+
+
+def open_raw(socket_path: str, timeout: float = 5.0) -> socket.socket:
+    """A connected raw socket to the daemon — below the client's
+    framing, so tests can send truncated or corrupt byte sequences."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(socket_path)
+    return sock
+
+
+def send_raw(
+    socket_path: str,
+    payload: bytes,
+    timeout: float = 5.0,
+    shutdown_write: bool = True,
+) -> bytes:
+    """Send exactly ``payload`` and return every byte the daemon sends
+    back until it closes the connection (or ``timeout`` passes with no
+    further data).  ``shutdown_write`` half-closes the sending side so
+    the daemon sees EOF after the payload."""
+    sock = open_raw(socket_path, timeout=timeout)
+    try:
+        sock.sendall(payload)
+        if shutdown_write:
+            sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(1 << 16)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+    finally:
+        sock.close()
+
+
+def response_lines(raw: bytes) -> list:
+    """Parse a raw byte stream into response envelopes (one per line) —
+    the exactly-one-envelope invariant is asserted over ``len()``."""
+    return [
+        json.loads(line)
+        for line in raw.split(b"\n")
+        if line.strip()
+    ]

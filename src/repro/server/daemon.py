@@ -44,6 +44,29 @@ Observability (the production-service layer):
 - **Load shedding.**  At most ``max_inflight`` requests run at once;
   excess requests are answered immediately with a structured shed
   error instead of queueing behind a saturated pool.
+
+Fault tolerance (the crash-only layer, see :mod:`.supervise` and
+:mod:`.chaos`):
+
+- **Stale-socket takeover.**  Startup probes an existing socket file:
+  a live daemon makes the bind fail loudly, a dead one is evicted with
+  a ``server.socket_takeover`` event.
+- **Pool rebuild.**  A batch whose worker died breaks the process
+  pool; affected files are retried inline (or answered degraded) by
+  the batch driver, and the pool is rebuilt eagerly before the
+  response is sent (``server.pool_rebuilds``), so the *next* request
+  never pays the rebuild.
+- **Graceful drain.**  ``SIGTERM`` (or :meth:`AnalysisServer.drain`)
+  stops accepting new requests — they get an immediate structured
+  refusal — waits for in-flight requests up to a hard deadline, then
+  stops the loop.  A drain that hits the deadline abandons the
+  stragglers (``server.drain_forced``): crash-only means the hard stop
+  is always safe.
+- **Protocol hardening.**  Frames are read through
+  :class:`~.protocol.FrameReader`: oversized or stalled partial frames
+  are answered with an error envelope and the connection is closed;
+  malformed JSON is answered without dropping the connection; a client
+  that disappears mid-frame costs one counter, never a wedged thread.
 """
 
 from __future__ import annotations
@@ -69,7 +92,8 @@ from ..obs import (
     use_thread_recorder,
 )
 from ..obs.export import prometheus_text
-from . import protocol
+from . import protocol, supervise
+from .chaos import chaos_delay
 from .watch import Watcher
 
 #: server-side ceilings for per-request budgets
@@ -83,6 +107,10 @@ DEFAULT_SLOW_MS = 1000.0
 #: concurrent-request ceiling; excess requests are shed with a
 #: structured error rather than queued behind a saturated pool
 DEFAULT_MAX_INFLIGHT = 64
+
+#: in-flight requests get this many seconds to finish when draining
+#: before the hard stop abandons them
+DEFAULT_DRAIN_DEADLINE = 5.0
 
 
 class AnalysisServer:
@@ -105,6 +133,9 @@ class AnalysisServer:
         log: Optional[OpsLogger] = None,
         slow_ms: float = DEFAULT_SLOW_MS,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        frame_deadline: Optional[float] = protocol.DEFAULT_FRAME_DEADLINE,
+        idle_timeout: Optional[float] = None,
+        drain_deadline: float = DEFAULT_DRAIN_DEADLINE,
     ):
         self.socket_path = socket_path or protocol.default_socket_path()
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -115,9 +146,13 @@ class AnalysisServer:
         self.log = log or NullOpsLogger()
         self.slow_ms = slow_ms
         self.max_inflight = max_inflight
+        self.frame_deadline = frame_deadline
+        self.idle_timeout = idle_timeout
+        self.drain_deadline = drain_deadline
         self.started_at = time.monotonic()
         self.requests_served = 0
         self.inflight = 0
+        self.draining = threading.Event()
         self._inflight_lock = threading.Lock()
         self._request_seq = itertools.count(1)
         self._pool = None
@@ -152,9 +187,9 @@ class AnalysisServer:
                 pool.shutdown(wait=False)
                 pool = self._pool = None
                 self.recorder.absorb(
-                    MetricsSnapshot(counters={"server.pool_recreated": 1})
+                    MetricsSnapshot(counters={"server.pool_rebuilds": 1})
                 )
-                self.log.warning("server.pool_recreated")
+                self.log.warning("server.pool_rebuild")
             if pool is None:
                 try:
                     pool = self._pool = _make_pool(self.jobs)
@@ -219,12 +254,25 @@ class AnalysisServer:
         started = time.perf_counter()
         self.requests_served += 1
 
+        if self.draining.is_set():
+            return self._refused_response(
+                op,
+                request_id,
+                started,
+                "server draining: not accepting new requests",
+                counter="server.drain_refused",
+                flag="draining",
+            )
         with self._inflight_lock:
             shed = self.inflight >= self.max_inflight
             if not shed:
                 self.inflight += 1
         if shed:
             return self._shed_response(op, request_id, started)
+
+        delay = chaos_delay("server.delay", op or "")
+        if delay:
+            time.sleep(delay)
 
         request_recorder = TraceRecorder()
         self.log.debug("request.accept", request_id=request_id, op=op)
@@ -304,23 +352,46 @@ class AnalysisServer:
 
     def _shed_response(self, op, request_id: str, started: float) -> dict:
         """Immediate structured refusal when the daemon is saturated."""
-        self.recorder.absorb(
-            MetricsSnapshot(
-                counters={"server.requests": 1, "server.shed": 1}
-            )
-        )
         self.log.warning(
             "request.shed",
             request_id=request_id,
             op=op,
             max_inflight=self.max_inflight,
         )
-        envelope = protocol.error(
+        return self._refused_response(
+            op,
+            request_id,
+            started,
             f"server overloaded: {self.max_inflight} request(s) already in "
-            "flight; retry later"
+            "flight; retry later",
+            counter="server.shed",
+            flag="shed",
+            log_event=None,  # already logged with shed-specific fields
         )
+
+    def _refused_response(
+        self,
+        op,
+        request_id: str,
+        started: float,
+        message: str,
+        counter: str,
+        flag: str,
+        log_event: Optional[str] = "request.refused",
+    ) -> dict:
+        """One error envelope for a request the daemon will not run
+        (shed under load, refused while draining) — still exactly one
+        response, still carrying a request id."""
+        self.recorder.absorb(
+            MetricsSnapshot(counters={"server.requests": 1, counter: 1})
+        )
+        if log_event:
+            self.log.warning(
+                log_event, request_id=request_id, op=op, reason=flag
+            )
+        envelope = protocol.error(message)
         envelope["request_id"] = request_id
-        envelope["shed"] = True
+        envelope[flag] = True
         envelope["elapsed_ms"] = (time.perf_counter() - started) * 1000.0
         return envelope
 
@@ -413,6 +484,11 @@ class AnalysisServer:
             cache=self.cache,
             pool=self._get_pool(),
         )
+        if self.jobs > 1 and not self.pool_alive():
+            # a worker died under this batch and broke the pool; the
+            # batch driver already retried the affected files inline —
+            # rebuild eagerly so the *next* request never pays for it
+            self._get_pool()
         return {
             "results": [
                 {
@@ -462,6 +538,11 @@ class AnalysisServer:
             "shed": snapshot.counter("server.shed"),
             "slow_requests": snapshot.counter("server.slow_requests"),
             "budget_clamps": snapshot.counter("server.budget_clamped"),
+            "pool_rebuilds": snapshot.counter("server.pool_rebuilds"),
+            "protocol_errors": snapshot.counter("server.protocol_errors"),
+            "socket_takeovers": snapshot.counter("server.socket_takeovers"),
+            "restarts": snapshot.counter("server.restarts"),
+            "draining": self.draining.is_set(),
             "inflight": self.inflight,
             "max_inflight": self.max_inflight,
             "slow_ms": self.slow_ms,
@@ -500,6 +581,53 @@ class AnalysisServer:
         if server is not None:
             threading.Thread(target=server.shutdown, daemon=True).start()
 
+    def note_protocol_error(self, exc: Exception) -> None:
+        """Account a wire-level fault (oversized/stalled/garbage frame)."""
+        self.recorder.absorb(
+            MetricsSnapshot(counters={"server.protocol_errors": 1})
+        )
+        self.log.warning(
+            "request.protocol_error",
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+    def drain(self, deadline: Optional[float] = None) -> bool:
+        """Graceful stop: refuse new requests, wait for in-flight ones
+        up to ``deadline`` seconds, then shut the loop down.  Returns
+        False when the hard deadline abandoned stragglers (crash-only:
+        the hard stop is always safe — no request is half-answered,
+        its connection just closes)."""
+        deadline = self.drain_deadline if deadline is None else deadline
+        already = self.draining.is_set()
+        self.draining.set()
+        if not already:
+            self.recorder.absorb(
+                MetricsSnapshot(counters={"server.drains": 1})
+            )
+            self.log.info(
+                "server.drain.start",
+                inflight=self.inflight,
+                deadline_s=deadline,
+            )
+        expires = time.monotonic() + deadline
+        while self.inflight > 0 and time.monotonic() < expires:
+            time.sleep(0.01)
+        forced = self.inflight > 0
+        if forced:
+            self.recorder.absorb(
+                MetricsSnapshot(counters={"server.drain_forced": 1})
+            )
+            self.log.warning(
+                "server.drain.deadline",
+                abandoned=self.inflight,
+                deadline_s=deadline,
+            )
+        else:
+            self.log.info("server.drain.done")
+        self._initiate_shutdown()
+        return not forced
+
     def start_watcher(self, inputs: List[str], interval: float = 1.0) -> threading.Thread:
         """Watch mode: poll ``inputs`` for new/modified scripts and
         re-analyze them as they change, keeping the result cache warm so
@@ -509,24 +637,32 @@ class AnalysisServer:
         def loop() -> None:
             while not self._watcher_stop.wait(interval):
                 round_recorder = TraceRecorder()
-                with use_thread_recorder(round_recorder):
-                    changed = watcher.scan()
-                    if changed:
-                        round_recorder.count("server.watch_rounds")
-                        round_recorder.count("server.watch_files", len(changed))
-                        with round_recorder.span("server.watch"):
-                            run_batch(
-                                changed,
-                                config=self._clamped(BatchConfig()),
-                                jobs=self.jobs,
-                                cache=self.cache,
-                                pool=self._get_pool(),
+                try:
+                    with use_thread_recorder(round_recorder):
+                        changed = watcher.scan()
+                        if changed:
+                            round_recorder.count("server.watch_rounds")
+                            round_recorder.count("server.watch_files", len(changed))
+                            with round_recorder.span("server.watch"):
+                                run_batch(
+                                    changed,
+                                    config=self._clamped(BatchConfig()),
+                                    jobs=self.jobs,
+                                    cache=self.cache,
+                                    pool=self._get_pool(),
+                                )
+                            self.log.info(
+                                "watch.scan",
+                                changed=len(changed),
+                                paths=changed[:20],
                             )
-                        self.log.info(
-                            "watch.scan",
-                            changed=len(changed),
-                            paths=changed[:20],
-                        )
+                except Exception as exc:  # noqa: BLE001 — the watcher must outlive one bad round
+                    round_recorder.count("watch.errors")
+                    self.log.error(
+                        "watch.error",
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
                 snapshot = round_recorder.snapshot()
                 if snapshot.counters or snapshot.histograms:
                     self.recorder.absorb(snapshot)
@@ -536,12 +672,18 @@ class AnalysisServer:
         return thread
 
     def serve_forever(self) -> None:
-        """Bind the socket and serve until ``shutdown`` (op or signal)."""
+        """Bind the socket and serve until ``shutdown`` (op or signal).
+
+        An existing socket file is probed first: a live daemon raises
+        :class:`~.supervise.SocketInUse` instead of having its socket
+        stolen; a dead daemon's leftover is evicted with a
+        ``server.socket_takeover`` event."""
         parent = os.path.dirname(self.socket_path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        if os.path.exists(self.socket_path):
-            os.unlink(self.socket_path)  # stale socket from a dead daemon
+        supervise.ensure_socket_free(
+            self.socket_path, log=self.log, recorder=self.recorder
+        )
         self._server = _SocketServer(self.socket_path, self)
         self.log.info(
             "server.start",
@@ -577,26 +719,62 @@ class AnalysisServer:
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: a loop of request line -> response line."""
+    """One connection: a loop of request frame -> response frame.
+
+    The exactly-one-envelope invariant lives here: every frame that
+    parses gets exactly one response from ``handle_request`` (which
+    never raises), and every wire-level fault gets either one error
+    envelope (when the peer can still read) or a silent close (when it
+    is gone) — never a hang, never a second answer.
+    """
 
     def handle(self) -> None:
         service: AnalysisServer = self.server.service
+        reader = protocol.FrameReader(self.connection)
         while True:
             try:
-                message = protocol.read_message(self.rfile)
-            except protocol.ProtocolError as exc:
-                self.wfile.write(protocol.encode(protocol.error(str(exc))))
-                continue
-            if message is None:
-                return  # client closed the connection
-            response = service.handle_request(message)
+                frame = reader.read_frame(
+                    idle_timeout=service.idle_timeout,
+                    frame_deadline=service.frame_deadline,
+                )
+            except protocol.IdleTimeout:
+                return  # nothing owed: the peer never started a request
+            except (
+                protocol.FrameTooLarge,
+                protocol.PartialFrameTimeout,
+            ) as exc:
+                # answer, then close: the stream cannot be resynced
+                service.note_protocol_error(exc)
+                self._respond(protocol.error(str(exc)))
+                return
+            except protocol.TruncatedFrame as exc:
+                service.note_protocol_error(exc)
+                return  # the peer is gone; no envelope owed
+            if frame is None:
+                return  # clean close between frames
             try:
-                self.wfile.write(protocol.encode(response))
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
+                message = protocol.decode(frame)
+            except protocol.ProtocolError as exc:
+                # malformed JSON: answer and keep serving — the stream
+                # is resynced at the newline
+                service.note_protocol_error(exc)
+                if not self._respond(protocol.error(str(exc))):
+                    return
+                continue
+            response = service.handle_request(message)
+            if not self._respond(response):
                 return
             if message.get("op") == "shutdown":
                 return
+
+    def _respond(self, envelope: dict) -> bool:
+        """Write one response frame; False when the peer is gone."""
+        try:
+            self.wfile.write(protocol.encode(envelope))
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
 
 class _SocketServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
@@ -624,25 +802,70 @@ def serve(
     log: Optional[OpsLogger] = None,
     slow_ms: float = DEFAULT_SLOW_MS,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    frame_deadline: Optional[float] = protocol.DEFAULT_FRAME_DEADLINE,
+    idle_timeout: Optional[float] = None,
+    drain_deadline: float = DEFAULT_DRAIN_DEADLINE,
+    supervised: bool = False,
+    max_restarts: int = 5,
+    install_signals: bool = False,
 ) -> AnalysisServer:
     """Build, warm, and run a daemon (the ``repro-served`` body).
 
     Blocks until shutdown; returns the server object (tests inspect it).
+
+    ``supervised=True`` wraps the serving loop in a
+    :class:`~.supervise.Supervisor`: a crash builds a *fresh* server
+    but reuses the same on-disk cache, totals recorder, and ops logger,
+    so the restarted daemon answers warm.  ``install_signals=True``
+    (CLI only — must run on the main thread) maps ``SIGTERM`` to a
+    graceful drain with the ``drain_deadline`` hard stop.
     """
     cache = None if no_cache else ResultCache(cache_dir)
-    server = AnalysisServer(
-        socket_path=socket_path,
-        jobs=jobs,
-        cache=cache,
-        cap_deadline=cap_deadline,
-        cap_states=cap_states,
-        recorder=recorder,
-        log=log,
-        slow_ms=slow_ms,
-        max_inflight=max_inflight,
-    )
-    server.warm()
-    if watch:
-        server.start_watcher(watch, interval=interval)
+    recorder = recorder or TraceRecorder()
+    log = log or NullOpsLogger()
+    warmed = threading.Event()
+
+    def build() -> AnalysisServer:
+        server = AnalysisServer(
+            socket_path=socket_path,
+            jobs=jobs,
+            cache=cache,
+            cap_deadline=cap_deadline,
+            cap_states=cap_states,
+            recorder=recorder,
+            log=log,
+            slow_ms=slow_ms,
+            max_inflight=max_inflight,
+            frame_deadline=frame_deadline,
+            idle_timeout=idle_timeout,
+            drain_deadline=drain_deadline,
+        )
+        if not warmed.is_set():
+            server.warm()
+            warmed.set()
+        if watch:
+            server.start_watcher(watch, interval=interval)
+        holder["server"] = server
+        return server
+
+    holder: dict = {}
+    if install_signals:
+        import signal
+
+        def _on_sigterm(signum, frame):
+            server = holder.get("server")
+            if server is not None:
+                threading.Thread(
+                    target=server.drain, daemon=True
+                ).start()
+
+        signal.signal(signal.SIGTERM, _on_sigterm)
+
+    if supervised:
+        supervisor = supervise.Supervisor(
+            build, log=log, max_restarts=max_restarts
+        )
+        return supervisor.run()
+    server = build()
     server.serve_forever()
     return server

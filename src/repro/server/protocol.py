@@ -6,6 +6,18 @@ Line-delimited JSON keeps the protocol trivially debuggable
 (``echo '{"op":"ping"}' | nc -U ...``) and framing-free: no length
 prefixes, no partial-read state machines.
 
+The daemon reads frames through :class:`FrameReader`, which enforces
+the three properties a hostile or broken client must not be able to
+violate:
+
+- **max frame size** — a frame longer than :data:`MAX_LINE_BYTES`
+  raises :class:`FrameTooLarge` before the daemon buffers it whole;
+- **partial-frame deadline** — a client that sends half a frame and
+  stalls gets :class:`PartialFrameTimeout` instead of pinning a handler
+  thread forever;
+- **truncated frames** — a connection closed mid-frame raises
+  :class:`TruncatedFrame` rather than feeding garbage downstream.
+
 Requests are objects with an ``op`` field:
 
 - ``{"op": "ping"}`` — liveness + version handshake
@@ -51,7 +63,9 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import tempfile
+import time
 from typing import IO, Optional
 
 #: bump on any incompatible request/response shape change
@@ -62,12 +76,34 @@ PROTOCOL_VERSION = 1
 #: largest real script corpora sent inline
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
+#: a started frame must complete within this many seconds (the daemon's
+#: default partial-frame read deadline)
+DEFAULT_FRAME_DEADLINE = 30.0
+
 #: environment override for the rendezvous point
 SOCKET_ENV = "REPRO_SERVER_SOCKET"
 
 
 class ProtocolError(Exception):
     """A malformed frame (bad JSON, missing op, oversized line)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame exceeded :data:`MAX_LINE_BYTES`; the connection cannot
+    be resynchronized and must be closed after the error response."""
+
+
+class PartialFrameTimeout(ProtocolError):
+    """A frame was started but not finished within the read deadline."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The peer closed (or reset) the connection mid-frame."""
+
+
+class IdleTimeout(ProtocolError):
+    """No frame arrived within the idle window (clean close, no error
+    response owed — the peer never started a request)."""
 
 
 def default_socket_path() -> str:
@@ -107,6 +143,97 @@ def read_message(stream: IO[bytes]) -> Optional[dict]:
     if not line:
         return None
     return decode(line)
+
+
+class FrameReader:
+    """Incremental newline-delimited frame reader over a raw socket.
+
+    Unlike ``rfile.readline``, this reader distinguishes the failure
+    modes the daemon must handle differently: oversized frames
+    (:class:`FrameTooLarge` — answer and close), stalled partial frames
+    (:class:`PartialFrameTimeout` — answer and close), truncated frames
+    (:class:`TruncatedFrame` — peer is gone, just close), and idle
+    connections (:class:`IdleTimeout` — close silently).  ``sock`` is
+    anything with ``settimeout``/``recv`` (a real socket or a test
+    double).
+    """
+
+    CHUNK = 1 << 16
+
+    def __init__(self, sock, max_bytes: Optional[int] = None):
+        self._sock = sock
+        # read the module global at construction time so tests (and
+        # embedders) can shrink the limit for connections made later
+        self.max_bytes = MAX_LINE_BYTES if max_bytes is None else max_bytes
+        self._buffer = bytearray()
+        self._eof = False
+
+    def read_frame(
+        self,
+        idle_timeout: Optional[float] = None,
+        frame_deadline: Optional[float] = DEFAULT_FRAME_DEADLINE,
+    ) -> Optional[bytes]:
+        """The next complete frame (without the trailing newline), or
+        ``None`` at a clean EOF between frames.
+
+        ``idle_timeout`` bounds the wait for the *first* byte of a
+        frame (``None`` = wait forever); ``frame_deadline`` bounds the
+        time from the first byte to the terminating newline.
+        """
+        started: Optional[float] = None
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                frame = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                if len(frame) > self.max_bytes:
+                    raise FrameTooLarge(
+                        f"frame exceeds {self.max_bytes} bytes"
+                    )
+                return frame
+            if len(self._buffer) > self.max_bytes:
+                raise FrameTooLarge(f"frame exceeds {self.max_bytes} bytes")
+            if self._eof:
+                if self._buffer:
+                    self._buffer.clear()
+                    raise TruncatedFrame("connection closed mid-frame")
+                return None
+            if self._buffer:
+                if started is None:
+                    started = time.monotonic()
+                timeout = None
+                if frame_deadline is not None:
+                    timeout = frame_deadline - (time.monotonic() - started)
+                    if timeout <= 0:
+                        raise PartialFrameTimeout(
+                            f"partial frame stalled past the "
+                            f"{frame_deadline:g}s read deadline"
+                        )
+            else:
+                timeout = idle_timeout
+            try:
+                self._sock.settimeout(timeout)
+                chunk = self._sock.recv(self.CHUNK)
+            except socket.timeout as exc:
+                if self._buffer:
+                    raise PartialFrameTimeout(
+                        f"partial frame stalled past the "
+                        f"{frame_deadline:g}s read deadline"
+                    ) from exc
+                raise IdleTimeout(
+                    f"no request within the {idle_timeout:g}s idle window"
+                ) from exc
+            except OSError as exc:
+                if self._buffer:
+                    self._buffer.clear()
+                    raise TruncatedFrame(
+                        f"connection lost mid-frame: {exc}"
+                    ) from exc
+                return None
+            if not chunk:
+                self._eof = True
+            else:
+                self._buffer.extend(chunk)
 
 
 def ok(result) -> dict:

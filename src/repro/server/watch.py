@@ -48,7 +48,21 @@ class Watcher:
         changed: List[str] = []
         seen = set()
         recorder = get_recorder()
-        for path in discover(self.inputs):
+        try:
+            paths = discover(self.inputs)
+        except OSError as exc:
+            # a whole corpus root going away (unmounted, permissions
+            # yanked) must not kill the watch thread
+            self.stat_errors += 1
+            recorder.count("watch.stat_errors")
+            self.log.warning(
+                "watch.stat_error",
+                path=str(self.inputs),
+                error=str(exc),
+                errno=exc.errno,
+            )
+            return []
+        for path in paths:
             try:
                 stat = os.stat(path)
             except OSError as exc:

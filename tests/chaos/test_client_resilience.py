@@ -1,0 +1,286 @@
+"""Client failure handling: bounded retries with deterministic jitter,
+separate connect/read timeouts, and the per-socket circuit breaker."""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.analysis.resilience import jittered_backoff
+from repro.obs import TraceRecorder, use_recorder
+from repro.server import ServerClient, ServerUnavailable
+from repro.server.chaos import ChaosPlan, FaultSpec, use_chaos
+from repro.server.client import (
+    DEFAULT_PING_TIMEOUT,
+    CircuitBreaker,
+    RetryPolicy,
+    breaker_for,
+    reset_breakers,
+)
+
+
+class FlakyListener:
+    """A Unix-socket listener that slams the door on the first
+    ``failures`` connections (accept, then close before answering) and
+    serves a canned ok-envelope afterwards — the shape of a daemon
+    dying mid-conversation and coming back under its supervisor."""
+
+    def __init__(self, socket_path: str, failures: int):
+        self.socket_path = socket_path
+        self.failures = failures
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(socket_path)
+        self._sock.listen(8)
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.failures:
+                conn.close()  # mid-conversation death
+                continue
+            try:
+                conn.recv(1 << 16)
+                conn.sendall(
+                    json.dumps(
+                        {"ok": True, "result": {"answered": True}}
+                    ).encode()
+                    + b"\n"
+                )
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+
+
+class TestRetries:
+    def test_retries_mid_conversation_loss_until_success(self, tmp_path):
+        path = str(tmp_path / "flaky.sock")
+        listener = FlakyListener(path, failures=2)
+        sleeps = []
+        recorder = TraceRecorder()
+        try:
+            client = ServerClient(
+                path,
+                retry=RetryPolicy(retries=3, jitter=0.0),
+                breaker=CircuitBreaker(threshold=100),
+                sleep=sleeps.append,
+            )
+            with use_recorder(recorder):
+                result = client.request({"op": "ping"})
+            client.close()
+        finally:
+            listener.close()
+        assert result == {"answered": True}
+        assert len(sleeps) == 2  # two failures, two backoffs
+        assert sleeps == [0.05, 0.1]  # deterministic with jitter=0
+        snapshot = recorder.snapshot()
+        assert snapshot.counter("server.client.retries") == 2
+        assert snapshot.counter("server.client.failures") == 0
+
+    def test_retries_exhaust_then_fail(self, tmp_path):
+        path = str(tmp_path / "flaky.sock")
+        listener = FlakyListener(path, failures=10)
+        sleeps = []
+        recorder = TraceRecorder()
+        try:
+            client = ServerClient(
+                path,
+                retry=RetryPolicy(retries=2, jitter=0.0),
+                breaker=CircuitBreaker(threshold=100),
+                sleep=sleeps.append,
+            )
+            with use_recorder(recorder):
+                with pytest.raises(ServerUnavailable) as excinfo:
+                    client.request({"op": "ping"})
+            client.close()
+        finally:
+            listener.close()
+        assert excinfo.value.retryable
+        assert len(sleeps) == 2
+        assert recorder.snapshot().counter("server.client.failures") == 1
+
+    def test_connect_refusal_is_not_retried(self, tmp_path):
+        sleeps = []
+        client = ServerClient(
+            str(tmp_path / "nobody.sock"),
+            retry=RetryPolicy(retries=5),
+            breaker=CircuitBreaker(threshold=100),
+            sleep=sleeps.append,
+        )
+        with use_recorder(TraceRecorder()):
+            with pytest.raises(ServerUnavailable) as excinfo:
+                client.request({"op": "ping"})
+        assert not excinfo.value.retryable
+        assert sleeps == []  # fail straight to the inline fallback
+
+    def test_shutdown_is_never_retried(self, tmp_path):
+        path = str(tmp_path / "flaky.sock")
+        listener = FlakyListener(path, failures=10)
+        sleeps = []
+        try:
+            client = ServerClient(
+                path,
+                retry=RetryPolicy(retries=5, jitter=0.0),
+                breaker=CircuitBreaker(threshold=100),
+                sleep=sleeps.append,
+            )
+            with use_recorder(TraceRecorder()):
+                with pytest.raises(ServerUnavailable):
+                    client.request({"op": "shutdown"})
+            client.close()
+        finally:
+            listener.close()
+        assert sleeps == []
+
+
+class TestBackoff:
+    def test_exponential_growth_and_cap(self):
+        delays = [
+            jittered_backoff(attempt, base=0.1, multiplier=2.0, cap=0.5, jitter=0.0)
+            for attempt in range(5)
+        ]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        rng_a = random.Random(7)
+        rng_b = random.Random(7)
+        a = [jittered_backoff(i, jitter=0.25, rng=rng_a) for i in range(20)]
+        b = [jittered_backoff(i, jitter=0.25, rng=rng_b) for i in range(20)]
+        assert a == b  # same seed, same schedule
+        for attempt, delay in enumerate(a):
+            center = min(1.0, 0.05 * (2.0 ** attempt))
+            assert center * 0.75 <= delay <= center * 1.25
+
+    def test_policy_delay_uses_client_rng(self):
+        policy = RetryPolicy(retries=2, jitter=0.25)
+        assert policy.delay(0, rng=random.Random(3)) == policy.delay(
+            0, rng=random.Random(3)
+        )
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fast_fails(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            for _ in range(3):
+                assert breaker.allow()
+                breaker.record_failure()
+            assert breaker.state == "open"
+            assert not breaker.allow()  # fast fail, no socket touched
+        snapshot = recorder.snapshot()
+        assert snapshot.counter("server.client.breaker_open") == 1
+        assert snapshot.counter("server.client.breaker_fastfail") == 1
+
+    def test_half_opens_after_cooldown_then_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            breaker.record_failure()
+            assert not breaker.allow()
+            clock.advance(5.1)
+            assert breaker.allow()  # the probe
+            assert breaker.state == "half-open"
+            assert not breaker.allow()  # only one probe at a time
+            breaker.record_success()
+            assert breaker.state == "closed"
+            assert breaker.allow()
+        assert recorder.snapshot().counter("server.client.breaker_halfopen") == 1
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        with use_recorder(TraceRecorder()):
+            breaker.record_failure()
+            breaker.record_failure()
+            clock.advance(5.1)
+            assert breaker.allow()
+            breaker.record_failure()  # the probe also failed
+            assert breaker.state == "open"
+            assert not breaker.allow()
+
+    def test_open_breaker_short_circuits_requests(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=60.0, clock=clock)
+        with use_recorder(TraceRecorder()):
+            breaker.record_failure()
+            client = ServerClient(str(tmp_path / "x.sock"), breaker=breaker)
+            with pytest.raises(ServerUnavailable) as excinfo:
+                client.request({"op": "ping"})
+        assert "circuit breaker open" in str(excinfo.value)
+
+    def test_registry_is_per_socket_path(self):
+        reset_breakers()
+        a = breaker_for("/tmp/a.sock")
+        b = breaker_for("/tmp/b.sock")
+        assert a is not b
+        assert breaker_for("/tmp/a.sock") is a
+        reset_breakers()
+        assert breaker_for("/tmp/a.sock") is not a
+
+
+class TestTimeouts:
+    def test_timeout_kwarg_sets_both(self, tmp_path):
+        client = ServerClient(str(tmp_path / "x.sock"), timeout=7.0)
+        assert client.connect_timeout == 7.0
+        assert client.read_timeout == 7.0
+
+    def test_split_timeouts_override(self, tmp_path):
+        client = ServerClient(
+            str(tmp_path / "x.sock"), connect_timeout=1.0, read_timeout=45.0
+        )
+        assert client.connect_timeout == 1.0
+        assert client.read_timeout == 45.0
+
+    def test_slow_daemon_trips_read_timeout_not_ping(self, daemon):
+        # a chaos delay on analyze stalls the answer past the client's
+        # read timeout; the loss is retryable (the daemon may just be
+        # slow because it is restarting) but here retries=0 surfaces it
+        with use_chaos(
+            ChaosPlan(0, [FaultSpec("server.delay", match="analyze", delay_s=0.6)])
+        ):
+            client = ServerClient(
+                daemon.socket_path,
+                read_timeout=0.2,
+                retry=RetryPolicy(retries=0),
+                breaker=CircuitBreaker(threshold=100),
+            )
+            with use_recorder(TraceRecorder()):
+                with pytest.raises(ServerUnavailable) as excinfo:
+                    client.analyze_source("echo hi\n")
+            assert excinfo.value.retryable
+            client.close()
+            # pings carry their own short deadline and are not delayed
+            probe = ServerClient(
+                daemon.socket_path, breaker=CircuitBreaker(threshold=100)
+            )
+            with use_recorder(TraceRecorder()):
+                assert probe.ping(timeout=DEFAULT_PING_TIMEOUT)["pid"]
+            probe.close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds: float):
+        self.now += seconds

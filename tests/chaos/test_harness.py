@@ -1,0 +1,165 @@
+"""The chaos substrate itself: plans serialize, injectors are
+deterministic, and the fault-carrying cache misbehaves on schedule."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.obs import TraceRecorder, use_recorder
+from repro.server.chaos import (
+    ENV_VAR,
+    ChaosCache,
+    ChaosInjector,
+    ChaosPlan,
+    FaultSpec,
+    active,
+    chaos_delay,
+    chaos_point,
+    install,
+    uninstall,
+    use_chaos,
+)
+
+
+class TestPlanSerialization:
+    def test_round_trips_through_json(self):
+        plan = ChaosPlan(
+            seed=7,
+            faults=[
+                FaultSpec("worker.kill", match="KILLME", rate=0.5, times=2),
+                FaultSpec("server.delay", delay_s=0.25),
+            ],
+        )
+        restored = ChaosPlan.from_json(plan.to_json())
+        assert restored.seed == 7
+        assert restored.faults["worker.kill"] == plan.faults["worker.kill"]
+        assert restored.faults["server.delay"].delay_s == 0.25
+
+    def test_to_env_installs_the_plan(self):
+        plan = ChaosPlan(seed=1, faults=[FaultSpec("cache.enospc")])
+        env = plan.to_env({})
+        assert json.loads(env[ENV_VAR])["seed"] == 1
+
+    def test_env_var_reaches_active(self, monkeypatch):
+        plan = ChaosPlan(seed=3, faults=[FaultSpec("worker.kill")])
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        injector = active()
+        assert injector is not None
+        assert injector.fires("worker.kill")
+
+    def test_garbage_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        assert active() is None
+        assert not chaos_point("worker.kill")
+
+
+class TestInjectorDeterminism:
+    def test_unarmed_point_never_fires(self):
+        injector = ChaosInjector(ChaosPlan(seed=0))
+        assert not injector.fires("worker.kill")
+
+    def test_rate_one_always_fires(self):
+        injector = ChaosInjector(ChaosPlan(0, [FaultSpec("p")]))
+        assert all(injector.fires("p") for _ in range(10))
+
+    def test_rate_zero_never_fires(self):
+        injector = ChaosInjector(ChaosPlan(0, [FaultSpec("p", rate=0.0)]))
+        assert not any(injector.fires("p") for _ in range(10))
+
+    def test_same_seed_same_schedule(self):
+        plan = lambda: ChaosPlan(42, [FaultSpec("p", rate=0.3)])  # noqa: E731
+        a = ChaosInjector(plan())
+        b = ChaosInjector(plan())
+        schedule_a = [a.fires("p") for _ in range(50)]
+        schedule_b = [b.fires("p") for _ in range(50)]
+        assert schedule_a == schedule_b
+        assert any(schedule_a) and not all(schedule_a)
+
+    def test_different_seeds_differ(self):
+        a = ChaosInjector(ChaosPlan(1, [FaultSpec("p", rate=0.5)]))
+        b = ChaosInjector(ChaosPlan(2, [FaultSpec("p", rate=0.5)]))
+        assert [a.fires("p") for _ in range(64)] != [
+            b.fires("p") for _ in range(64)
+        ]
+
+    def test_points_have_independent_streams(self):
+        plan = ChaosPlan(9, [FaultSpec("p", rate=0.5), FaultSpec("q", rate=0.5)])
+        solo = ChaosInjector(ChaosPlan(9, [FaultSpec("p", rate=0.5)]))
+        interleaved = ChaosInjector(plan)
+        schedule = []
+        for _ in range(32):
+            schedule.append(interleaved.fires("p"))
+            interleaved.fires("q")  # must not perturb p's stream
+        assert schedule == [solo.fires("p") for _ in range(32)]
+
+    def test_times_caps_firings(self):
+        injector = ChaosInjector(ChaosPlan(0, [FaultSpec("p", times=2)]))
+        fired = [injector.fires("p") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert injector.fired("p") == 2
+        assert injector.calls("p") == 5
+
+    def test_match_filters_payloads(self):
+        injector = ChaosInjector(
+            ChaosPlan(0, [FaultSpec("p", match="KILLME")])
+        )
+        assert not injector.fires("p", "echo ok")
+        assert injector.fires("p", "echo KILLME now")
+
+    def test_firings_are_counted(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            injector = ChaosInjector(ChaosPlan(0, [FaultSpec("worker.kill")]))
+            injector.fires("worker.kill")
+        assert recorder.snapshot().counter("chaos.worker_kill") == 1
+
+    def test_delay_point(self):
+        injector = ChaosInjector(
+            ChaosPlan(0, [FaultSpec("server.delay", delay_s=0.5, times=1)])
+        )
+        assert injector.delay("server.delay") == 0.5
+        assert injector.delay("server.delay") == 0.0  # times exhausted
+
+
+class TestInstallation:
+    def test_in_process_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(
+            ENV_VAR, ChaosPlan(0, [FaultSpec("env.only")]).to_json()
+        )
+        with use_chaos(ChaosPlan(0, [FaultSpec("proc.only")])):
+            assert chaos_point("proc.only")
+            assert not chaos_point("env.only")
+        # context exited: back to the env plan
+        assert chaos_point("env.only")
+
+    def test_uninstall_disarms(self):
+        install(ChaosPlan(0, [FaultSpec("p")]))
+        uninstall()
+        assert not chaos_point("p")
+        assert chaos_delay("p") == 0.0
+
+
+class TestChaosCache:
+    def test_enospc_fires_on_schedule(self, tmp_path):
+        injector = ChaosInjector(
+            ChaosPlan(0, [FaultSpec("cache.enospc", times=1)])
+        )
+        cache = ChaosCache(str(tmp_path / "c"), injector)
+        with pytest.raises(OSError) as excinfo:
+            cache._write(str(tmp_path / "c"), str(tmp_path / "c/x.json"), "{}")
+        assert excinfo.value.errno == errno.ENOSPC
+        # schedule exhausted: the next write lands
+        cache._write(str(tmp_path / "c"), str(tmp_path / "c/x.json"), "{}")
+        assert os.path.exists(tmp_path / "c/x.json")
+
+    def test_corrupt_tears_the_entry_after_write(self, tmp_path):
+        injector = ChaosInjector(ChaosPlan(0, [FaultSpec("cache.corrupt")]))
+        cache = ChaosCache(str(tmp_path / "c"), injector)
+        payload = json.dumps({"schema": 1, "k": "v" * 50})
+        path = str(tmp_path / "c/x.json")
+        cache._write(str(tmp_path / "c"), path, payload)
+        with open(path) as handle:
+            torn = handle.read()
+        assert torn == payload[: len(payload) // 3]

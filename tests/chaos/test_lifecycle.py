@@ -1,0 +1,364 @@
+"""Crash-only lifecycle: stale-socket takeover, graceful drain,
+supervised restarts, and the full kill-9 stories — mid-request
+fallback and warm-cache recovery — against real daemon subprocesses."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import TraceRecorder, use_recorder
+from repro.server import (
+    AnalysisServer,
+    ServerClient,
+    ServerError,
+    ServerUnavailable,
+    SocketInUse,
+    Supervisor,
+    ensure_socket_free,
+    probe_socket,
+)
+from repro.server.chaos import ChaosPlan, FaultSpec
+from repro.server.client import CircuitBreaker, RetryPolicy
+
+from .conftest import start_daemon
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _stale_socket(tmp_path) -> str:
+    """A socket file nobody is listening on (the kill -9 residue)."""
+    path = str(tmp_path / "stale.sock")
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(path)
+    sock.close()  # bound but never listening: connects are refused
+    assert os.path.exists(path)
+    return path
+
+
+class TestSocketTakeover:
+    def test_probe_states(self, tmp_path, daemon):
+        assert probe_socket(str(tmp_path / "nothing.sock")) == "absent"
+        assert probe_socket(_stale_socket(tmp_path)) == "dead"
+        assert probe_socket(daemon.socket_path) == "alive"
+
+    def test_dead_socket_is_evicted(self, tmp_path):
+        path = _stale_socket(tmp_path)
+        recorder = TraceRecorder()
+        assert ensure_socket_free(path, recorder=recorder) is True
+        assert not os.path.exists(path)
+        assert recorder.snapshot().counter("server.socket_takeovers") == 1
+
+    def test_absent_socket_is_a_noop(self, tmp_path):
+        assert ensure_socket_free(str(tmp_path / "nothing.sock")) is False
+
+    def test_live_daemon_is_not_stolen(self, daemon):
+        with pytest.raises(SocketInUse):
+            ensure_socket_free(daemon.socket_path)
+        # and the daemon still answers
+        with ServerClient(daemon.socket_path) as client:
+            assert client.ping()["pid"] == os.getpid()
+
+    def test_daemon_boots_over_a_stale_socket(self, tmp_path):
+        path = _stale_socket(tmp_path)
+        server = AnalysisServer(socket_path=path, jobs=1, recorder=TraceRecorder())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while probe_socket(path) != "alive":
+                assert time.monotonic() < deadline, "takeover never completed"
+                time.sleep(0.01)
+            assert (
+                server.recorder.snapshot().counter("server.socket_takeovers")
+                == 1
+            )
+        finally:
+            try:
+                ServerClient(path).shutdown()
+            except (ServerUnavailable, ServerError):
+                pass
+            thread.join(timeout=5.0)
+
+    def test_second_daemon_refuses_to_start(self, daemon):
+        second = AnalysisServer(
+            socket_path=daemon.socket_path, jobs=1, recorder=TraceRecorder()
+        )
+        with pytest.raises(SocketInUse):
+            second.serve_forever()
+        # the incumbent is untouched
+        with ServerClient(daemon.socket_path) as client:
+            assert client.ping()
+
+
+class TestDrain:
+    def test_draining_refuses_with_structured_envelope(self, daemon):
+        daemon.draining.set()
+        try:
+            envelope = daemon.handle_request({"op": "ping"})
+            assert envelope["ok"] is False
+            assert envelope["draining"] is True
+            assert envelope["request_id"]
+            assert "draining" in envelope["error"]
+            snapshot = daemon.recorder.snapshot()
+            assert snapshot.counter("server.drain_refused") == 1
+        finally:
+            daemon.draining.clear()
+
+    def test_clean_drain_stops_the_loop(self, tmp_path):
+        server, stop = start_daemon(tmp_path)
+        assert server.drain(deadline=2.0) is True
+        deadline = time.monotonic() + 5.0
+        while os.path.exists(server.socket_path):
+            assert time.monotonic() < deadline, "drained daemon never stopped"
+            time.sleep(0.01)
+        snapshot = server.recorder.snapshot()
+        assert snapshot.counter("server.drains") == 1
+        assert snapshot.counter("server.drain_forced") == 0
+        stop()
+
+    def test_deadline_abandons_stragglers(self, tmp_path):
+        server, stop = start_daemon(tmp_path)
+        server.inflight += 1  # a request that will never finish
+        try:
+            started = time.monotonic()
+            assert server.drain(deadline=0.2) is False
+            assert time.monotonic() - started < 5.0
+            assert (
+                server.recorder.snapshot().counter("server.drain_forced") == 1
+            )
+        finally:
+            server.inflight -= 1
+            stop()
+
+
+class TestSupervisor:
+    def test_restarts_after_crash_then_serves(self):
+        events = []
+
+        class Flaky:
+            crashes = 2
+
+            def __init__(self):
+                self.recorder = TraceRecorder()
+
+            def serve_forever(self):
+                if Flaky.crashes:
+                    Flaky.crashes -= 1
+                    events.append("crash")
+                    raise RuntimeError("boom")
+                events.append("served")
+
+        supervisor = Supervisor(Flaky, max_restarts=5, sleep=lambda s: None)
+        server = supervisor.run()
+        assert events == ["crash", "crash", "served"]
+        assert supervisor.restarts == 2
+        assert server.recorder.snapshot().counter("server.restarts") == 0
+        # each crash was counted on the server alive at the time
+
+    def test_gives_up_past_max_restarts(self):
+        class Doomed:
+            def serve_forever(self):
+                raise RuntimeError("always")
+
+        supervisor = Supervisor(Doomed, max_restarts=2, sleep=lambda s: None)
+        with pytest.raises(RuntimeError):
+            supervisor.run()
+        assert supervisor.restarts == 3  # initial + 2 allowed restarts
+
+    def test_socket_in_use_is_not_retried(self):
+        attempts = []
+
+        class Squatter:
+            def serve_forever(self):
+                attempts.append(1)
+                raise SocketInUse("/tmp/taken.sock")
+
+        supervisor = Supervisor(Squatter, max_restarts=5, sleep=lambda s: None)
+        with pytest.raises(SocketInUse):
+            supervisor.run()
+        assert len(attempts) == 1
+
+    def test_backoff_is_bounded(self):
+        sleeps = []
+
+        class Doomed:
+            def serve_forever(self):
+                raise RuntimeError("always")
+
+        supervisor = Supervisor(
+            Doomed, max_restarts=20, restart_backoff=1.0, sleep=sleeps.append
+        )
+        with pytest.raises(RuntimeError):
+            supervisor.run()
+        assert max(sleeps) == 5.0  # capped
+        assert sleeps[0] == 1.0  # linear from the first restart
+
+
+# ---------------------------------------------------------------------------
+# Full kill -9 stories against daemon subprocesses
+# ---------------------------------------------------------------------------
+
+
+def _cli_env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    env.pop("REPRO_CHAOS", None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _spawn_served(tmp_path, *extra_args, env_extra=None):
+    socket_path = str(tmp_path / "served.sock")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "served",
+            "--socket",
+            socket_path,
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra_args,
+        ],
+        env=_cli_env(env_extra),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30.0
+    while probe_socket(socket_path) != "alive":
+        if proc.poll() is not None or time.monotonic() > deadline:
+            out, err = proc.communicate(timeout=5)
+            pytest.fail(f"daemon never came up: {err}")
+        time.sleep(0.05)
+    return proc, socket_path
+
+
+def _reap(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.communicate(timeout=10)
+
+
+@pytest.fixture()
+def script(tmp_path):
+    path = tmp_path / "job.sh"
+    path.write_text('if [ "$#" -lt 1 ]; then exit 1; fi\necho "$1"\n')
+    return str(path)
+
+
+class TestKillNineRecovery:
+    def test_restarted_daemon_answers_warm_from_cache(self, tmp_path, script):
+        with open(script) as handle:
+            source = handle.read()
+        proc, socket_path = _spawn_served(tmp_path)
+        try:
+            with ServerClient(socket_path) as client:
+                first = client.request({"op": "analyze", "source": source})
+            assert first["cached"] is False
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.communicate(timeout=10)
+            assert os.path.exists(socket_path)  # the kill -9 residue
+        finally:
+            _reap(proc)
+
+        # crash-only restart: same socket, same cache dir
+        proc, socket_path = _spawn_served(tmp_path)
+        try:
+            with ServerClient(socket_path) as client:
+                second = client.request({"op": "analyze", "source": source})
+                counters = client.last_metrics["counters"]
+            assert second["cached"] is True
+            assert counters.get("symex.runs", 0) == 0  # zero re-execution
+            assert counters.get("batch.cache.hit") == 1
+            assert second["report"] == first["report"]
+        finally:
+            _reap(proc)
+
+    def test_kill_nine_mid_request_falls_back_byte_identical(
+        self, tmp_path, script
+    ):
+        inline = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "analyze", script],
+            capture_output=True,
+            text=True,
+            env=_cli_env(),
+            cwd=str(REPO_ROOT),
+        )
+
+        # the daemon stalls analyze requests for 30s (chaos delay), so
+        # the request is reliably in flight when the SIGKILL lands
+        plan = ChaosPlan(0, [FaultSpec("server.delay", match="analyze", delay_s=30.0)])
+        proc, socket_path = _spawn_served(
+            tmp_path, env_extra={"REPRO_CHAOS": plan.to_json()}
+        )
+        try:
+            cli = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "analyze",
+                    "--server",
+                    "--socket",
+                    socket_path,
+                    script,
+                ],
+                env=_cli_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                cwd=str(REPO_ROOT),
+            )
+            # wait until the analyze request is in flight (the stats
+            # request itself counts as one in-flight request, so >= 2)
+            with ServerClient(socket_path) as probe:
+                deadline = time.monotonic() + 30.0
+                while True:
+                    if probe.stats()["inflight"] >= 2:
+                        break
+                    assert time.monotonic() < deadline, "request never arrived"
+                    time.sleep(0.05)
+            os.kill(proc.pid, signal.SIGKILL)
+            out, err = cli.communicate(timeout=120)
+            assert cli.returncode == inline.returncode
+            assert out == inline.stdout  # byte-identical final report
+            assert "analyzing inline" in err
+        finally:
+            _reap(proc)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path, script):
+        log_path = str(tmp_path / "ops.jsonl")
+        proc, socket_path = _spawn_served(tmp_path, "--log-file", log_path)
+        try:
+            with ServerClient(socket_path) as client:
+                client.request({"op": "ping"})
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+            assert not os.path.exists(socket_path)
+            with open(log_path) as handle:
+                events = [json.loads(line) for line in handle if line.strip()]
+            names = [event.get("event") for event in events]
+            assert "server.drain.start" in names
+            assert "server.drain.done" in names
+            assert "server.stop" in names
+        finally:
+            _reap(proc)

@@ -1,0 +1,80 @@
+"""Worker-death fault class: a pool worker killed mid-batch (OOM-kill,
+segfault) must cost a retry, never a lost file — and the daemon must
+rebuild its pool inside the failing request so the next one runs warm.
+
+The kill is injected through the ``REPRO_CHAOS`` environment variable
+(pool workers pickle functions by name, so parent-side monkeypatching
+cannot reach them): ``worker.kill`` with a source marker kills exactly
+the worker that draws the marked file, deterministically.
+"""
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.server import ServerClient
+from repro.server.chaos import ChaosPlan, FaultSpec
+
+from .conftest import corpus, needs_pool, start_daemon
+
+MARKER = "CHAOS-KILL-ME"
+
+
+@needs_pool
+class TestDaemonPoolDeath:
+    def test_worker_kill_mid_batch_recovers_in_request(
+        self, tmp_path, monkeypatch
+    ):
+        plan = ChaosPlan(seed=0, faults=[FaultSpec("worker.kill", match=MARKER)])
+        monkeypatch.setenv("REPRO_CHAOS", plan.to_json())
+        scripts = corpus(tmp_path, n=4, marker=MARKER)
+        cache = ResultCache(str(tmp_path / "cache"))
+        server, stop = start_daemon(tmp_path, jobs=2, cache=cache)
+        try:
+            with ServerClient(server.socket_path) as client:
+                batch = client.batch([scripts])
+            # the envelope is well-formed and no file is missing: the
+            # marked file was retried inline after its worker died
+            assert len(batch.results) == 4
+            assert not any(r.quarantined for r in batch.results)
+            snapshot = server.recorder.snapshot()
+            assert snapshot.counter("batch.worker_failures") >= 1
+            assert snapshot.counter("batch.retries") >= 1
+            assert snapshot.counter("server.pool_rebuilds") >= 1
+            # the rebuild happened inside the failing request
+            assert server.pool_alive()
+
+            # follow-up request: fully warm, straight from the cache,
+            # without tripping the (still armed) kill switch
+            with ServerClient(server.socket_path) as client:
+                again = client.batch([scripts])
+            assert len(again.results) == 4
+            assert all(r.cached for r in again.results)
+            assert again.hits == 4
+        finally:
+            stop()
+
+    def test_batch_output_matches_fault_free_run(self, tmp_path, monkeypatch):
+        scripts = corpus(tmp_path, n=4, marker=MARKER)
+
+        server, stop = start_daemon(
+            tmp_path, jobs=2, cache=ResultCache(str(tmp_path / "healthy"))
+        )
+        try:
+            with ServerClient(server.socket_path) as client:
+                healthy = client.batch([scripts]).render()
+        finally:
+            stop()
+
+        plan = ChaosPlan(seed=0, faults=[FaultSpec("worker.kill", match=MARKER)])
+        monkeypatch.setenv("REPRO_CHAOS", plan.to_json())
+        chaos_dir = tmp_path / "chaos-home"
+        chaos_dir.mkdir()
+        server, stop = start_daemon(
+            chaos_dir, jobs=2, cache=ResultCache(str(tmp_path / "faulty"))
+        )
+        try:
+            with ServerClient(server.socket_path) as client:
+                faulty = client.batch([scripts]).render()
+        finally:
+            stop()
+        assert faulty == healthy
