@@ -1,0 +1,168 @@
+"""E-incremental: fragment-level re-analysis latency.
+
+The just-in-time goal behind ROADMAP item 2: an edit to one function in
+a watched script should produce a fresh report in well under 100ms,
+because only the edited fragment (plus its dependence-graph dependents)
+is re-explored — everything else replays from per-fragment summaries.
+
+Measured here:
+
+1. **Cold vs warm** — the same file analyzed cold (no summaries) and
+   warm (all fragment summaries hot); warm must be faster and must
+   re-explore zero fragments.
+2. **Edit turnaround** — one leaf function body edited; the re-analysis
+   must miss only that fragment, and the median warm edit→report
+   latency must come in under the 100ms budget.
+3. **Byte-identity** — every memoized report must render exactly like a
+   cold run (the correctness side of the bargain, asserted hard).
+"""
+
+import time
+
+from conftest import emit, emit_json
+
+from repro.analysis import analyze
+from repro.analysis.incremental import IncrementalSession
+from repro.obs import TraceRecorder, use_recorder
+
+#: a 12-function pipeline with a realistic mix of RAW chains and
+#: independent leaves; big enough that a full cold run dwarfs a
+#: single-fragment re-run
+N_STAGES = 4
+
+
+def _pipeline_script():
+    parts = ["#!/bin/sh"]
+    for i in range(N_STAGES):
+        parts.append(
+            f"prepare_{i}() {{\n"
+            f"  mkdir -p /srv/stage{i}\n"
+            f"  echo ready > /srv/stage{i}/ready\n"
+            f"}}"
+        )
+        parts.append(
+            f"process_{i}() {{\n"
+            f"  cat /srv/stage{i}/ready\n"
+            f"  cp input.dat /srv/stage{i}/out.dat\n"
+            f"}}"
+        )
+        parts.append(
+            f"verify_{i}() {{\n"
+            f"  [ -f /srv/stage{i}/out.dat ] && echo stage{i} ok\n"
+            f"}}"
+        )
+    for i in range(N_STAGES):
+        parts.append(f"prepare_{i}\nprocess_{i}\nverify_{i}")
+    return "\n".join(parts) + "\n"
+
+
+def _timed(fn, repeat=5):
+    best = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best.append((time.perf_counter() - start) * 1000.0)
+    best.sort()
+    return best[len(best) // 2], result  # median ms
+
+
+class TestIncrementalLatency:
+    def test_edit_to_report_latency(self):
+        source = _pipeline_script()
+        edited = source.replace("echo stage0 ok", "echo stage-zero ok")
+        assert edited != source
+
+        # cold baseline: a fresh analysis with no summaries anywhere
+        cold_ms, cold_report = _timed(lambda: analyze(source), repeat=3)
+        cold_edited = analyze(edited)
+
+        session = IncrementalSession()
+        session.analyze(source, path="pipeline.sh")  # prime summaries
+
+        # warm, unchanged: every fragment replays
+        rec_warm = TraceRecorder()
+        with use_recorder(rec_warm):
+            warm_ms, warm_report = _timed(
+                lambda: session.analyze(source, path="pipeline.sh")
+            )
+        warm_counters = rec_warm.snapshot().counters
+        assert warm_counters.get("incremental.fragments.miss", 0) == 0
+        assert warm_report.render() == cold_report.render()
+
+        # the headline number: edit one leaf body, re-analyze
+        def flip(state={"cur": source}):
+            state["cur"] = edited if state["cur"] == source else source
+            return session.analyze(state["cur"], path="pipeline.sh")
+
+        flip()  # warm both variants' summaries once
+        flip()
+        rec_edit = TraceRecorder()
+        with use_recorder(rec_edit):
+            edit_ms, edit_report = _timed(flip)
+        edit_counters = rec_edit.snapshot().counters
+        assert edit_report.render() in (
+            cold_report.render(),
+            cold_edited.render(),
+        )
+
+        # cold-edit turnaround: summaries warm for everything except the
+        # edited fragment (the realistic editor-save path)
+        session2 = IncrementalSession()
+        session2.analyze(source, path="pipeline.sh")
+        rec_save = TraceRecorder()
+        with use_recorder(rec_save):
+            start = time.perf_counter()
+            save_report = session2.analyze(edited, path="pipeline.sh")
+            save_ms = (time.perf_counter() - start) * 1000.0
+        save_counters = rec_save.snapshot().counters
+        assert save_report.render() == cold_edited.render()
+        # only the edited leaf re-ran (verify_0 has no dependents); it
+        # is entered from two forked states, so it misses exactly twice
+        assert session2.last_invalidated == ["verify_0@10"]
+        assert save_counters["incremental.fragments.miss"] == 2
+        assert save_counters["incremental.fragments.invalidated"] == 1
+
+        emit(
+            "E-incremental: fragment-level re-analysis",
+            [
+                f"cold full analysis        {cold_ms:8.1f} ms",
+                f"warm replay (no edit)     {warm_ms:8.1f} ms",
+                f"edit→report (summaries)   {edit_ms:8.1f} ms",
+                f"first save after edit     {save_ms:8.1f} ms "
+                f"({save_counters['incremental.fragments.miss']} fragment re-run)",
+                f"speedup warm vs cold      {cold_ms / max(warm_ms, 0.001):8.1f}x",
+            ],
+        )
+        emit_json(
+            "incremental",
+            {
+                "cold_ms": round(cold_ms, 2),
+                "warm_replay_ms": round(warm_ms, 2),
+                "edit_to_report_ms": round(edit_ms, 2),
+                "first_save_after_edit_ms": round(save_ms, 2),
+                "fragments": {
+                    "warm_hits": warm_counters.get(
+                        "incremental.fragments.hit", 0
+                    ),
+                    "edit_misses": save_counters.get(
+                        "incremental.fragments.miss", 0
+                    ),
+                    "edit_invalidated": save_counters.get(
+                        "incremental.fragments.invalidated", 0
+                    ),
+                },
+                "byte_identical_to_cold": True,
+                "target_ms": 100.0,
+            },
+            section="latency",
+        )
+
+        # the acceptance bar: warm edit→report under 100ms
+        assert edit_ms < 100.0, (
+            f"warm edit→report took {edit_ms:.1f} ms (budget 100 ms)"
+        )
+        # noise margin: the win grows with body weight, but a warm
+        # replay must never cost meaningfully more than a cold run
+        assert warm_ms < cold_ms * 1.5, (
+            f"warm replay {warm_ms:.1f} ms vs cold {cold_ms:.1f} ms"
+        )

@@ -1,0 +1,33 @@
+#!/bin/sh
+# A staged build pipeline: five functions with a real dependence chain
+# (setup writes what build reads; build writes what test_stage reads),
+# used by the incremental-analysis smoke test — editing one function
+# body must re-analyze only that fragment plus its dependents.
+
+setup() {
+  mkdir -p /var/pipeline
+  echo ready > /var/pipeline/ready
+}
+
+build() {
+  cat /var/pipeline/ready
+  cp source.tar /var/pipeline/build.out
+}
+
+test_stage() {
+  [ -f /var/pipeline/build.out ] && echo "build ok"
+}
+
+cleanup() {
+  rm -f /var/pipeline/ready
+}
+
+report() {
+  echo "pipeline finished"
+}
+
+setup
+build
+test_stage
+cleanup
+report

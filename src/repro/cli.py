@@ -800,6 +800,12 @@ def main_served(argv: Optional[List[str]] = None) -> int:
         help="watch-mode poll interval (default: 1s)",
     )
     parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="watch mode: disable fragment-level incremental re-analysis "
+        "(re-run changed files cold through the batch driver instead)",
+    )
+    parser.add_argument(
         "--log-file",
         default=None,
         metavar="PATH",
@@ -898,6 +904,7 @@ def main_served(argv: Optional[List[str]] = None) -> int:
             ),
             watch=options.watch,
             interval=options.interval,
+            incremental=not options.no_incremental,
             recorder=recorder,
             log=log,
             slow_ms=options.slow_ms if options.slow_ms is not None else DEFAULT_SLOW_MS,

@@ -19,31 +19,45 @@ like a quiet, perfectly-warm cache.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from ..analysis.batch import discover
 from ..obs import get_recorder
 from ..obs.log import NullOpsLogger, OpsLogger
 
 
+class ScanResult(NamedTuple):
+    """One scan's delta: paths that changed (new or modified) and paths
+    that disappeared since the previous scan."""
+
+    changed: List[str]
+    deleted: List[str]
+
+
 class Watcher:
     """Tracks (size, mtime) signatures for every script reachable from
-    ``inputs``; :meth:`scan` returns the paths that changed since the
-    previous scan."""
+    ``inputs``; :meth:`scan` returns the paths that changed — and the
+    ones that vanished — since the previous scan."""
 
     def __init__(self, inputs: Sequence[str], log: Optional[OpsLogger] = None):
         self.inputs = list(inputs)
         self.log = log or NullOpsLogger()
         self.stat_errors = 0
+        self.deletions = 0
         self._signatures: Dict[str, tuple] = {}
         self._primed = False
 
-    def scan(self) -> List[str]:
-        """Paths that are new or modified since the last scan.
+    def scan(self) -> ScanResult:
+        """Paths new/modified — and paths deleted — since the last scan.
 
         The first scan primes the signature table and reports *every*
-        file (the daemon uses that to pre-warm the cache); deleted files
-        are dropped from tracking but never reported.
+        file as changed (the daemon uses that to pre-warm the cache).
+        A tracked path that stops appearing (deleted, or renamed — a
+        rename is a deletion plus a new path) is reported in
+        ``deleted`` exactly once and evicted from tracking, with a
+        ``watch.deleted`` count and a structured log event; previously
+        these lingered silently and the daemon kept serving results
+        for files that no longer existed.
         """
         changed: List[str] = []
         seen = set()
@@ -61,7 +75,7 @@ class Watcher:
                 error=str(exc),
                 errno=exc.errno,
             )
-            return []
+            return ScanResult([], [])
         for path in paths:
             try:
                 stat = os.stat(path)
@@ -80,8 +94,13 @@ class Watcher:
             if self._signatures.get(path) != signature:
                 self._signatures[path] = signature
                 changed.append(path)
+        deleted: List[str] = []
         for path in list(self._signatures):
             if path not in seen:
                 del self._signatures[path]
+                deleted.append(path)
+                self.deletions += 1
+                recorder.count("watch.deleted")
+                self.log.info("watch.deleted", path=path)
         self._primed = True
-        return changed
+        return ScanResult(changed, deleted)

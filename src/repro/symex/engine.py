@@ -139,6 +139,11 @@ class Engine:
         self.loop_depth = 0
         #: provenance labels, cached per AST node (id(node) -> Origin)
         self._origin_cache: Dict[int, Origin] = {}
+        #: optional fragment memoization hook (incremental analysis):
+        #: when set, function-body evaluations may be served from
+        #: per-fragment summaries instead of being re-explored.  See
+        #: repro.analysis.incremental.FragmentMemo.
+        self.fragment_memo = None
 
     # -- entry points -------------------------------------------------------
 
@@ -434,7 +439,10 @@ class Engine:
         state.argv_unknown = False
         state.argc_sym = None
         state.depth += 1
-        results = self.eval(body, state)
+        if self.fragment_memo is not None:
+            results = self.fragment_memo.eval_body(self, name, body, state)
+        else:
+            results = self.eval(body, state)
         for result in results:
             result.params = saved_params
             result.argv_unknown = saved_unknown
@@ -1315,6 +1323,13 @@ class Engine:
                     st.bg_jobs,
                     st.loop_control,
                     st.argv_unknown,
+                    # function bindings are state too: a path that redefined
+                    # a function must not merge with one that kept the old
+                    # body, or the redefinition silently vanishes at the
+                    # next call site
+                    tuple(
+                        sorted((n, id(b)) for n, b in st.functions.items())
+                    ),
                 )
                 if key in merged:
                     self.paths_merged += 1

@@ -162,6 +162,22 @@ class TestCacheCorruption:
             json.dump(data, handle)
         assert cache.get(key) is None
 
+    def test_schema_version_mismatch_is_counted(self, tmp_path):
+        # a partial upgrade (old writer, new reader sharing a cache dir)
+        # must read as a *visible* miss, not raise in from_dict
+        from repro.obs import TraceRecorder, use_recorder
+
+        cache, key = self._primed(tmp_path)
+        data = cache.get(key)
+        data["schema"] = Report.SCHEMA_VERSION - 1
+        with open(cache.path_for(key), "w") as handle:
+            json.dump(data, handle)
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            assert cache.get(key) is None
+        assert recorder.counter("batch.cache.schema_miss") == 1
+        assert recorder.counter("batch.cache.corrupt") == 0
+
     def test_non_dict_entry_is_a_miss(self, tmp_path):
         cache, key = self._primed(tmp_path)
         with open(cache.path_for(key), "w") as handle:

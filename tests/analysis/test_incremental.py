@@ -1,0 +1,316 @@
+"""Fragment-level incremental analysis: summaries, invalidation, and
+the byte-identity guarantee.
+
+The contract under test (ISSUE 10 / ROADMAP item 2): after editing one
+function body in a multi-function script, re-analysis re-explores only
+that fragment plus its dependence-graph dependents — asserted on the
+``incremental.fragments.*`` counters — and every report produced
+through the memo renders byte-identically to a cold analysis, races
+included.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.cache import FragmentCache
+from repro.analysis.incremental import (
+    FragmentMemo,
+    IncrementalSession,
+    split_fragments,
+)
+from repro.obs import TraceRecorder, use_recorder
+
+
+#: five functions with a RAW chain: setup -> build -> test_it, plus a
+#: WAW pair (setup/cleanup on the ready file) and an independent leaf
+PIPELINE = """#!/bin/sh
+setup() {
+  mkdir -p /var/app
+  echo ready > /var/app/ready
+}
+build() {
+  cat /var/app/ready
+  cp src.tar /var/app/src.tar
+}
+test_it() {
+  [ -f /var/app/src.tar ] && echo ok
+}
+cleanup() {
+  rm -f /var/app/ready
+}
+report() {
+  echo done
+}
+setup
+build
+test_it
+cleanup
+report
+"""
+
+
+def _counters(run):
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        result = run()
+    snap = recorder.snapshot()
+    return result, snap.counters
+
+
+class TestSplitFragments:
+    def test_five_functions_found(self):
+        table = split_fragments(PIPELINE)
+        assert [f.name for f in table.fragments] == [
+            "setup", "build", "test_it", "cleanup", "report",
+        ]
+
+    def test_fragment_digest_tracks_body_edits(self):
+        before = split_fragments(PIPELINE).digests()
+        after = split_fragments(
+            PIPELINE.replace("echo done", "echo all done")
+        ).digests()
+        changed = {k for k in before if before[k] != after.get(k)}
+        assert changed == {"report@16"}
+
+    def test_residue_digest_tracks_toplevel_edits(self):
+        before = split_fragments(PIPELINE).digests()
+        after = split_fragments(PIPELINE.replace("\nreport\n", "\n")).digests()
+        assert before["<residue>"] != after["<residue>"]
+        # function digests untouched
+        for key in before:
+            if key != "<residue>":
+                assert before[key] == after[key]
+
+    def test_moved_fragment_changes_digest(self):
+        # positions feed diagnostics, so a shifted body must re-run
+        before = split_fragments(PIPELINE).digests()
+        after = split_fragments("\n" + PIPELINE).digests()
+        assert all(before[k] != v for k, v in after.items() if k in before)
+
+    def test_scripts_without_functions_have_only_residue(self):
+        table = split_fragments("echo one\necho two\n")
+        assert table.fragments == []
+
+
+class TestSessionReuse:
+    def test_cold_then_warm_all_hits(self):
+        sess = IncrementalSession()
+        _, cold = _counters(lambda: sess.analyze(PIPELINE, path="p.sh"))
+        _, warm = _counters(lambda: sess.analyze(PIPELINE, path="p.sh"))
+        assert cold.get("incremental.fragments.miss", 0) > 0
+        assert cold.get("incremental.fragments.hit", 0) == 0
+        assert warm.get("incremental.fragments.miss", 0) == 0
+        assert warm["incremental.fragments.hit"] == cold[
+            "incremental.fragments.miss"
+        ]
+
+    def test_leaf_edit_reruns_only_that_fragment(self):
+        sess = IncrementalSession()
+        sess.analyze(PIPELINE, path="p.sh")
+        edited = PIPELINE.replace("echo done", "echo all done")
+        _, counters = _counters(lambda: sess.analyze(edited, path="p.sh"))
+        # report is called from one state only -> exactly one miss
+        assert counters["incremental.fragments.miss"] == 1
+        assert counters["incremental.fragments.invalidated"] == 1
+        assert counters.get("incremental.fragments.hit", 0) > 0
+
+    def test_upstream_edit_invalidates_dependents(self):
+        sess = IncrementalSession()
+        sess.analyze(PIPELINE, path="p.sh")
+        idx = sess._index["p.sh"]
+        # the dependence edges the invalidation walks
+        assert "build@6" in idx.dependents["setup@2"]
+        assert "test_it@10" in idx.dependents["build@6"]
+        edited = PIPELINE.replace("echo ready", "printf ready")
+        _, counters = _counters(lambda: sess.analyze(edited, path="p.sh"))
+        invalidated = set(sess.last_invalidated)
+        assert "setup@2" in invalidated
+        assert "build@6" in invalidated        # RAW on /var/app/ready
+        assert "test_it@10" in invalidated     # RAW on /var/app/src.tar
+        assert counters["incremental.fragments.invalidated"] == len(invalidated)
+
+    def test_independent_leaf_not_invalidated_by_upstream_edit(self):
+        sess = IncrementalSession()
+        sess.analyze(PIPELINE, path="p.sh")
+        edited = PIPELINE.replace("echo ready", "printf ready")
+        sess.analyze(edited, path="p.sh")
+        assert "report@16" not in set(sess.last_invalidated)
+
+    def test_forget_drops_path_state(self):
+        sess = IncrementalSession()
+        sess.analyze(PIPELINE, path="p.sh")
+        assert "p.sh" in sess._index
+        sess.forget("p.sh")
+        assert "p.sh" not in sess._index
+
+
+class TestByteIdentity:
+    """The hard invariant: memoized runs render exactly like cold runs."""
+
+    @pytest.mark.parametrize("races", [True, False])
+    def test_warm_report_byte_identical(self, races):
+        from repro.analysis.batch import BatchConfig
+
+        config = BatchConfig(races=races)
+        cold = analyze(PIPELINE, **config.analyze_kwargs())
+        sess = IncrementalSession(config=config)
+        sess.analyze(PIPELINE, path="p.sh")
+        warm = sess.analyze(PIPELINE, path="p.sh")
+        assert warm.render() == cold.render()
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_edited_report_byte_identical(self):
+        edited = PIPELINE.replace("cat /var/app/ready", "head /var/app/ready")
+        sess = IncrementalSession()
+        sess.analyze(PIPELINE, path="p.sh")
+        warm = sess.analyze(edited, path="p.sh")
+        assert warm.render() == analyze(edited).render()
+
+    def test_background_race_report_byte_identical(self):
+        # races exercise the effect graph: replayed states must carry
+        # correctly remapped fs events and region ids
+        src = (
+            "produce() { echo x > /tmp/shared; }\n"
+            "consume() { cat /tmp/shared; }\n"
+            "produce &\n"
+            "consume\n"
+            "wait\n"
+        )
+        cold = analyze(src).render()
+        sess = IncrementalSession()
+        sess.analyze(src, path="r.sh")
+        warm = sess.analyze(src, path="r.sh")
+        assert warm.render() == cold
+
+    def test_symbolic_arguments_byte_identical(self):
+        # unknown argv: entry fingerprints cover symbolic params
+        src = (
+            'target() { rm -rf "$1"; }\n'
+            'main() { target "$1"; }\n'
+            'main "$1"\n'
+        )
+        cold = analyze(src).render()
+        sess = IncrementalSession()
+        sess.analyze(src, path="a.sh")
+        warm = sess.analyze(src, path="a.sh")
+        assert warm.render() == cold
+
+    def test_command_substitution_byte_identical(self):
+        src = (
+            "gen() { echo /tmp/workdir; }\n"
+            "use() { d=$(gen); rm -rf \"$d\"; }\n"
+            "use\n"
+        )
+        cold = analyze(src).render()
+        sess = IncrementalSession()
+        sess.analyze(src, path="c.sh")
+        warm = sess.analyze(src, path="c.sh")
+        assert warm.render() == cold
+
+    def test_recursive_function_byte_identical(self):
+        src = (
+            "walk_down() { [ -d \"$1\" ] && walk_down \"$1/sub\"; }\n"
+            "walk_down /srv\n"
+        )
+        cold = analyze(src).render()
+        sess = IncrementalSession()
+        sess.analyze(src, path="rec.sh")
+        warm = sess.analyze(src, path="rec.sh")
+        assert warm.render() == cold
+
+
+class TestMemoSafety:
+    def test_nested_definitions_bail(self):
+        # a body that defines functions is never memoized
+        src = (
+            "outer() { inner() { echo hi; }; inner; }\n"
+            "outer\nouter\n"
+        )
+        sess = IncrementalSession()
+        _, c1 = _counters(lambda: sess.analyze(src, path="n.sh"))
+        _, c2 = _counters(lambda: sess.analyze(src, path="n.sh"))
+        assert c1.get("incremental.fragments.hit", 0) == 0
+        assert c2.get("incremental.fragments.hit", 0) == 0
+        assert sess.analyze(src).render() == analyze(src).render()
+
+    def test_dynamic_binding_calls_current_definition(self):
+        # redefinition between calls: the memo key includes the closure
+        # bindings, so each call memoizes against its own callee body
+        src = (
+            "helper() { echo a; }\n"
+            "driver() { helper; }\n"
+            "driver\n"
+            "helper() { rm -rf \"$HOME/\"; }\n"
+            "driver\n"
+        )
+        cold = analyze(src)
+        sess = IncrementalSession()
+        sess.analyze(src, path="d.sh")
+        warm = sess.analyze(src, path="d.sh")
+        assert warm.render() == cold.render()
+        assert "dangerous-deletion" in [d.code for d in warm.diagnostics]
+
+    def test_custom_checkers_disable_the_memo(self):
+        sess = IncrementalSession()
+        _, counters = _counters(
+            lambda: analyze(PIPELINE, checkers=[], incremental=sess)
+        )
+        assert counters.get("incremental.fragments.miss", 0) == 0
+        assert counters.get("incremental.fragments.hit", 0) == 0
+
+    def test_reanalyze_span_recorded(self):
+        sess = IncrementalSession()
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            sess.analyze(PIPELINE, path="p.sh")
+        assert any(
+            span.name == "incremental.reanalyze"
+            for span in recorder.iter_spans()
+        )
+
+
+class TestFragmentCache:
+    def test_lru_eviction_bounds_entries(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put(("a",), "A", digest="da")
+        cache.put(("b",), "B", digest="db")
+        cache.put(("c",), "C", digest="dc")
+        assert len(cache) == 2
+        assert cache.get(("a",)) is None
+        assert cache.get(("c",)) == "C"
+
+    def test_get_refreshes_recency(self):
+        cache = FragmentCache(max_entries=2)
+        cache.put(("a",), "A", digest="da")
+        cache.put(("b",), "B", digest="db")
+        cache.get(("a",))
+        cache.put(("c",), "C", digest="dc")
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("b",)) is None
+
+    def test_invalidate_digest_evicts_all_entries_of_a_fragment(self):
+        cache = FragmentCache()
+        cache.put(("a", 1), "A1", digest="da")
+        cache.put(("a", 2), "A2", digest="da")
+        cache.put(("b", 1), "B1", digest="db")
+        assert cache.invalidate_digest("da") == 2
+        assert cache.get(("a", 1)) is None
+        assert cache.get(("a", 2)) is None
+        assert cache.get(("b", 1)) == "B1"
+
+    def test_eviction_counter(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            cache = FragmentCache(max_entries=1)
+            cache.put(("a",), "A", digest="da")
+            cache.put(("b",), "B", digest="db")
+        assert recorder.counter("incremental.fragments.evicted") == 1
+
+    def test_shared_cache_across_sessions(self):
+        shared = FragmentCache()
+        s1 = IncrementalSession(fragment_cache=shared)
+        s2 = IncrementalSession(fragment_cache=shared)
+        _, c1 = _counters(lambda: s1.analyze(PIPELINE, path="p.sh"))
+        _, c2 = _counters(lambda: s2.analyze(PIPELINE, path="p.sh"))
+        assert c1.get("incremental.fragments.miss", 0) > 0
+        assert c2.get("incremental.fragments.miss", 0) == 0

@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.batch import BatchConfig, run_batch
 from repro.analysis.cache import ResultCache
-from repro.obs import TraceRecorder
+from repro.obs import OpsLogger, TraceRecorder, use_recorder
 from repro.server import (
     AnalysisServer,
     ServerClient,
@@ -184,12 +184,12 @@ class TestWatcher:
     def test_first_scan_reports_everything(self, tmp_path):
         corpus = _corpus(tmp_path)
         watcher = Watcher([corpus])
-        assert len(watcher.scan()) == 2
+        assert len(watcher.scan().changed) == 2
 
     def test_unchanged_scan_reports_nothing(self, tmp_path):
         watcher = Watcher([_corpus(tmp_path)])
         watcher.scan()
-        assert watcher.scan() == []
+        assert watcher.scan() == ([], [])
 
     def test_modification_detected(self, tmp_path):
         corpus = _corpus(tmp_path)
@@ -198,8 +198,9 @@ class TestWatcher:
         target = os.path.join(corpus, "guard.sh")
         with open(target, "a", encoding="utf-8") as handle:
             handle.write("echo more\n")
-        changed = watcher.scan()
+        changed, deleted = watcher.scan()
         assert changed == [target]
+        assert deleted == []
 
     def test_new_file_detected(self, tmp_path):
         corpus = _corpus(tmp_path)
@@ -208,14 +209,49 @@ class TestWatcher:
         new_path = os.path.join(corpus, "zz.sh")
         with open(new_path, "w", encoding="utf-8") as handle:
             handle.write("echo new\n")
-        assert watcher.scan() == [new_path]
+        assert watcher.scan() == ([new_path], [])
 
-    def test_deleted_file_dropped_silently(self, tmp_path):
+    def test_deleted_file_reported_and_evicted(self, tmp_path):
         corpus = _corpus(tmp_path)
         watcher = Watcher([corpus])
         watcher.scan()
-        os.unlink(os.path.join(corpus, "danger.sh"))
-        assert watcher.scan() == []
+        gone = os.path.join(corpus, "danger.sh")
+        os.unlink(gone)
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            changed, deleted = watcher.scan()
+        assert changed == []
+        assert deleted == [gone]
+        assert watcher.deletions == 1
+        assert recorder.counter("watch.deleted") == 1
+        # reported exactly once: the next scan is quiet again
+        assert watcher.scan() == ([], [])
+
+    def test_rename_is_deletion_plus_new_path(self, tmp_path):
+        corpus = _corpus(tmp_path)
+        watcher = Watcher([corpus])
+        watcher.scan()
+        old = os.path.join(corpus, "danger.sh")
+        new = os.path.join(corpus, "renamed.sh")
+        os.rename(old, new)
+        changed, deleted = watcher.scan()
+        assert changed == [new]
+        assert deleted == [old]
+
+    def test_deletion_logged(self, tmp_path):
+        import json
+
+        corpus = _corpus(tmp_path)
+        log_path = str(tmp_path / "watch.log")
+        watcher = Watcher([corpus], log=OpsLogger(log_path))
+        watcher.scan()
+        gone = os.path.join(corpus, "danger.sh")
+        os.unlink(gone)
+        watcher.scan()
+        with open(log_path, "r", encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        [event] = [e for e in events if e["event"] == "watch.deleted"]
+        assert event["path"] == gone
 
     def test_watch_mode_warms_the_cache(self, daemon, tmp_path):
         corpus = _corpus(tmp_path)
@@ -490,7 +526,7 @@ class TestWatcherStatErrors:
         watch_mod.os.stat = failing_stat
         try:
             with use_recorder(recorder):
-                changed = watcher.scan()
+                changed, _deleted = watcher.scan()
         finally:
             watch_mod.os.stat = original_stat
         assert len(changed) == 1  # danger.sh still reported
